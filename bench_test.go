@@ -1,0 +1,210 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates its experiment end to
+// end (workload generation, parameter sweep, baseline, measurement) in
+// fast mode and reports the experiment's headline metrics via
+// b.ReportMetric, so `go test -bench=.` reproduces the whole evaluation
+// and prints the shape-defining numbers next to the timings.
+package eccspec_test
+
+import (
+	"testing"
+
+	"eccspec/internal/experiments"
+)
+
+// benchOpts are the shared benchmark options. Fast mode shortens the
+// measurement windows ~10x; the shapes (who wins, by what factor) are
+// preserved.
+var benchOpts = experiments.Options{Seed: 42, Fast: true}
+
+// runExperiment executes one registered experiment b.N times, reporting
+// the requested metrics from the final run.
+func runExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = e.Run(benchOpts)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	for _, m := range metrics {
+		b.ReportMetric(res.Metric(m), m)
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1: lowest safe Vdd per core at the
+// 2.53 GHz and 340 MHz operating points.
+func BenchmarkFig1(b *testing.B) {
+	runExperiment(b, "fig1", "avg_rel_high", "avg_rel_low", "spread_rel_low")
+}
+
+// BenchmarkFig2 regenerates Figure 2: error-free and correctable-error
+// voltage ranges per core; the paper's ~4x range ratio.
+func BenchmarkFig2(b *testing.B) {
+	runExperiment(b, "fig2", "range_ratio", "corr_range_low_v")
+}
+
+// BenchmarkFig3 regenerates Figure 3: average correctable errors vs
+// speculation range at both operating points.
+func BenchmarkFig3(b *testing.B) {
+	runExperiment(b, "fig3", "error_free_range_v", "peak_ratio")
+}
+
+// BenchmarkFig4 regenerates Figure 4: per-core error counts and types
+// during a load run at the lowest safe voltages.
+func BenchmarkFig4(b *testing.B) {
+	runExperiment(b, "fig4", "cores_with_errors", "total_errors_5min")
+}
+
+// BenchmarkTab1 regenerates Table I (system configuration printout).
+func BenchmarkTab1(b *testing.B) {
+	runExperiment(b, "tab1", "cores", "domains")
+}
+
+// BenchmarkTab2 regenerates Table II (benchmark inventory).
+func BenchmarkTab2(b *testing.B) {
+	runExperiment(b, "tab2", "benchmarks")
+}
+
+// BenchmarkFig10 regenerates Figure 10: per-core average voltages under
+// hardware speculation across the four suites (paper: 18% average).
+func BenchmarkFig10(b *testing.B) {
+	runExperiment(b, "fig10", "avg_reduction", "min_reduction", "max_reduction")
+}
+
+// BenchmarkFig11 regenerates Figure 11: relative total power (paper:
+// 33% average savings).
+func BenchmarkFig11(b *testing.B) {
+	runExperiment(b, "fig11", "avg_power_savings")
+}
+
+// BenchmarkFig12 regenerates Figure 12: the mcf->crafty adaptation trace
+// with the error rate held inside the control band.
+func BenchmarkFig12(b *testing.B) {
+	runExperiment(b, "fig12", "in_band_fraction")
+}
+
+// BenchmarkFig13 regenerates Figure 13: per-line error probability vs
+// voltage for cores with different profiles.
+func BenchmarkFig13(b *testing.B) {
+	runExperiment(b, "fig13", "ramp_min_mv", "ramp_max_mv", "v50_spread_v")
+}
+
+// BenchmarkFig14 regenerates Figure 14: adaptation to the 30 s on/off
+// stress kernel with the main core idle and under SPECfp.
+func BenchmarkFig14(b *testing.B) {
+	runExperiment(b, "fig14", "swing_idle_v", "swing_specfp_v")
+}
+
+// BenchmarkFig15 regenerates Figure 15: error count vs voltage-virus NOP
+// count, peaking at the resonance-matched NOP-8 variant.
+func BenchmarkFig15(b *testing.B) {
+	runExperiment(b, "fig15", "peak_nop", "peak_errors")
+}
+
+// BenchmarkFig16 regenerates Figure 16: error rate vs Vdd under NOP-8,
+// NOP-0 and idle auxiliary loads.
+func BenchmarkFig16(b *testing.B) {
+	runExperiment(b, "fig16", "mean_rate_nop8", "mean_rate_nop0", "mean_rate_idle")
+}
+
+// BenchmarkFig17 regenerates Figure 17: energy of hardware vs software
+// speculation relative to the nominal baseline.
+func BenchmarkFig17(b *testing.B) {
+	runExperiment(b, "fig17", "hw_relative_energy", "sw_relative_energy")
+}
+
+// BenchmarkFig18 regenerates Figure 18: energy vs Vdd for both
+// techniques, including the software curve's divergence.
+func BenchmarkFig18(b *testing.B) {
+	runExperiment(b, "fig18", "hw_min_energy_rel", "sw_divergence")
+}
+
+// BenchmarkRetention regenerates the §V-E access-vs-retention fault
+// characterization.
+func BenchmarkRetention(b *testing.B) {
+	runExperiment(b, "retention", "retention_errors", "access_errors")
+}
+
+// BenchmarkAging regenerates the §III-D aging/recalibration study.
+func BenchmarkAging(b *testing.B) {
+	runExperiment(b, "aging", "onset_drift_v")
+}
+
+// BenchmarkTemp regenerates the §III-D temperature-insensitivity check.
+func BenchmarkTemp(b *testing.B) {
+	runExperiment(b, "temp", "max_delta")
+}
+
+// BenchmarkMethodology regenerates the §IV-A methodology validation:
+// hardware monitors vs the firmware self-test approximation.
+func BenchmarkMethodology(b *testing.B) {
+	runExperiment(b, "methodology", "max_target_diff_v", "fw_energy_penalty")
+}
+
+// BenchmarkCompare regenerates the §VI related-work comparison: CPM,
+// the firmware ECC baseline, the paper's hardware monitors, and Razor.
+func BenchmarkCompare(b *testing.B) {
+	runExperiment(b, "compare", "reduction_cpm", "reduction_ecc-hardware", "reduction_razor")
+}
+
+// BenchmarkAblateBand sweeps the controller's error-rate band.
+func BenchmarkAblateBand(b *testing.B) {
+	runExperiment(b, "ablate-band", "reduction_gain_widest", "crashes_total")
+}
+
+// BenchmarkAblateRails sweeps the rail-sharing granularity.
+func BenchmarkAblateRails(b *testing.B) {
+	runExperiment(b, "ablate-rails", "reduction_per1", "reduction_per8")
+}
+
+// BenchmarkAblateStep sweeps the regulator step size.
+func BenchmarkAblateStep(b *testing.B) {
+	runExperiment(b, "ablate-step", "inband_step25", "inband_step200")
+}
+
+// BenchmarkAblateProbeRate sweeps the monitor probe rate.
+func BenchmarkAblateProbeRate(b *testing.B) {
+	runExperiment(b, "ablate-proberate", "stddev_mv_rate5", "stddev_mv_rate500")
+}
+
+// BenchmarkFreqScale sweeps the production frequency range (§II-A):
+// speculation benefit vs operating frequency.
+func BenchmarkFreqScale(b *testing.B) {
+	runExperiment(b, "freqscale", "reduction_mhz340", "reduction_mhz1000")
+}
+
+// BenchmarkUncoreSpec regenerates the uncore-speculation extension:
+// driving the uncore rail from the L3's weak lines.
+func BenchmarkUncoreSpec(b *testing.B) {
+	runExperiment(b, "uncorespec", "uncore_reduction", "extra_power_savings")
+}
+
+// BenchmarkFanSpeed regenerates the §III-D fan-slowdown temperature
+// excursion on the two-socket blade model.
+func BenchmarkFanSpeed(b *testing.B) {
+	runExperiment(b, "fanspeed", "temp_rise_c", "max_shift_v")
+}
+
+// BenchmarkValidate regenerates the statistical-vs-functional error
+// model cross-check.
+func BenchmarkValidate(b *testing.B) {
+	runExperiment(b, "validate", "worst_ratio")
+}
+
+// BenchmarkSoak regenerates the §I reliability soak: several chips under
+// back-to-back workloads with crash and corruption counting.
+func BenchmarkSoak(b *testing.B) {
+	runExperiment(b, "soak", "crashes", "corrupted")
+}
+
+// BenchmarkPareto regenerates the energy-performance frontier extension.
+func BenchmarkPareto(b *testing.B) {
+	runExperiment(b, "pareto", "iso_energy_perf_gain")
+}

@@ -1,0 +1,68 @@
+// Command calibrate runs the boot-time calibration procedure (§III-C) on
+// a simulated chip and dumps the resulting weak-line map: for every
+// voltage domain, the cache line whose ECC monitor will guide
+// speculation, with its onset voltage and how it compares to the
+// domain's crash-relevant floors.
+//
+// Usage:
+//
+//	calibrate [-seed N] [-full] [-high] [-aged hours]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eccspec/internal/chip"
+	"eccspec/internal/control"
+	"eccspec/internal/workload"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "chip seed")
+	full := flag.Bool("full", false, "full Table I cache geometry")
+	high := flag.Bool("high", false, "use the 2.53 GHz / 1.1 V operating point")
+	aged := flag.Float64("aged", 0, "pre-age the SRAM arrays by this many hours")
+	flag.Parse()
+
+	c := chip.New(chip.DefaultParams(*seed, !*high, *full))
+	for _, co := range c.Cores {
+		co.SetWorkload(workload.Idle(), *seed)
+		if *aged > 0 {
+			co.Hier.L2D.Array().SetAge(*aged)
+			co.Hier.L2I.Array().SetAge(*aged)
+			co.InvalidateSensitivity()
+		}
+	}
+	ctl := control.New(c, control.DefaultConfig())
+	assigns, err := ctl.Calibrate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("chip seed %d, %s point, %d domains", *seed, c.P.Point.Name, len(c.Domains))
+	if *aged > 0 {
+		fmt.Printf(", aged %.0f h", *aged)
+	}
+	fmt.Println()
+	fmt.Println()
+	for _, a := range assigns {
+		co := c.Cores[a.Core]
+		arr := co.CacheOf(a.Kind).Array()
+		p := arr.LineProfile(a.Set, a.Way)
+		fmt.Printf("%s\n", a)
+		fmt.Printf("  weakest cell Vcrit %.3f V, double-bit point %.3f V, logic floor %.3f V\n",
+			p.Vmax(), p.PairVcrit(), co.LogicVmin())
+		fmt.Printf("  speculation margin below onset: %.0f mV\n\n",
+			1000*(a.OnsetV-maxf(p.PairVcrit(), co.LogicVmin())))
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,245 @@
+// Command eccspec runs the paper-reproduction experiments.
+//
+// Usage:
+//
+//	eccspec list
+//	eccspec run <id>... [-seed N] [-full] [-fast] [-csv dir] [-plot] [-json]
+//	eccspec run all
+//	eccspec seeds <id> [-n N]    # distribution across chip specimens
+//	eccspec report [-fast]       # Markdown summary of every experiment
+//
+// Each experiment id corresponds to one table or figure of the paper
+// (fig1..fig18, tab1, tab2) or an auxiliary study (retention, aging,
+// temp). See DESIGN.md for the experiment index.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"eccspec/internal/experiments"
+	"eccspec/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eccspec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("no command")
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %-12s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return nil
+	case "run":
+		return runCmd(args[1:])
+	case "seeds":
+		return seedsCmd(args[1:])
+	case "report":
+		return reportCmd(args[1:])
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// seedsCmd runs one experiment across many chip seeds and reports the
+// distribution of every metric — the process-variation view of a result.
+func seedsCmd(args []string) error {
+	fs := flag.NewFlagSet("seeds", flag.ContinueOnError)
+	n := fs.Int("n", 8, "number of chip seeds to sample")
+	full := fs.Bool("full", false, "use the full Table I cache geometry")
+	fast := fs.Bool("fast", true, "shorten measurement windows ~10x")
+	var ids []string
+	rest := args
+	for len(rest) > 0 && len(rest[0]) > 0 && rest[0][0] != '-' {
+		ids = append(ids, rest[0])
+		rest = rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if len(ids) != 1 {
+		return fmt.Errorf("seeds: exactly one experiment id required")
+	}
+	e, ok := experiments.ByID(ids[0])
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", ids[0])
+	}
+	agg := map[string][]float64{}
+	var names []string
+	for seed := 1; seed <= *n; seed++ {
+		res, err := e.Run(experiments.Options{Seed: uint64(seed), Full: *full, Fast: *fast})
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		for name, v := range res.Metrics {
+			if _, seen := agg[name]; !seen {
+				names = append(names, name)
+			}
+			agg[name] = append(agg[name], v)
+		}
+		fmt.Fprintf(os.Stderr, "seed %d/%d done\n", seed, *n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s across %d chip seeds:\n", ids[0], *n)
+	fmt.Printf("%-28s %12s %12s %12s\n", "metric", "mean", "min", "max")
+	for _, name := range names {
+		vs := agg[name]
+		mean, lo, hi := vs[0], vs[0], vs[0]
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		mean = sum / float64(len(vs))
+		fmt.Printf("%-28s %12.5g %12.5g %12.5g\n", name, mean, lo, hi)
+	}
+	return nil
+}
+
+// reportCmd runs every experiment and emits a Markdown summary table —
+// the raw material for refreshing EXPERIMENTS.md after model changes.
+func reportCmd(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "chip seed")
+	full := fs.Bool("full", false, "use the full Table I cache geometry")
+	fast := fs.Bool("fast", false, "shorten measurement windows ~10x")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Seed: *seed, Full: *full, Fast: *fast}
+	fmt.Println("| Id | Paper | Result |")
+	fmt.Println("|---|---|---|")
+	for _, e := range experiments.All() {
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Printf("| %s | %s | ERROR: %v |\n", e.ID, e.Paper, err)
+			continue
+		}
+		fmt.Printf("| %s | %s | %s |\n", e.ID, e.Paper, res.Headline)
+	}
+	return nil
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "chip seed (selects the simulated specimen)")
+	full := fs.Bool("full", false, "use the full Table I cache geometry (slower)")
+	fast := fs.Bool("fast", false, "shorten measurement windows ~10x")
+	csvDir := fs.String("csv", "", "directory to write time-series CSVs into")
+	doPlot := fs.Bool("plot", false, "render time-series results as ASCII charts")
+	asJSON := fs.Bool("json", false, "emit results as JSON instead of text tables")
+
+	// Accept ids before flags: `run fig10 -seed 2`.
+	var ids []string
+	rest := args
+	for len(rest) > 0 && len(rest[0]) > 0 && rest[0][0] != '-' {
+		ids = append(ids, rest[0])
+		rest = rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	ids = append(ids, fs.Args()...)
+	if len(ids) == 0 {
+		return fmt.Errorf("run: no experiment ids given (try `eccspec list`)")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	opts := experiments.Options{Seed: *seed, Full: *full, Fast: *fast}
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		res, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(struct {
+				ID       string             `json:"id"`
+				Title    string             `json:"title"`
+				Headline string             `json:"headline"`
+				Metrics  map[string]float64 `json:"metrics"`
+			}{res.ID, res.Title, res.Headline, res.Metrics}); err != nil {
+				return err
+			}
+		} else if err := res.Write(os.Stdout); err != nil {
+			return err
+		}
+		if *doPlot {
+			for i, rec := range res.Series {
+				for _, col := range rec.Columns() {
+					xs := make([]float64, rec.Len())
+					for s := 0; s < rec.Len(); s++ {
+						xs[s] = rec.Time(s)
+					}
+					chart := plot.Chart{
+						Title:  fmt.Sprintf("%s series %d: %s", id, i, col),
+						Width:  72,
+						Height: 14,
+					}
+					err := chart.Render(os.Stdout, plot.Series{
+						Name: col, X: xs, Y: rec.Column(col)})
+					if err != nil {
+						return err
+					}
+				}
+			}
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			for i, rec := range res.Series {
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s_series%d.csv", id, i))
+				f, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				if err := rec.WriteCSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  eccspec list
+  eccspec run <id>... [-seed N] [-full] [-fast] [-csv dir] [-plot] [-json]
+  eccspec run all [flags]
+  eccspec seeds <id> [-n N] [-full] [-fast=false]
+  eccspec report [-seed N] [-full] [-fast]`)
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout during f and returns what was written.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), ferr
+}
+
+func TestListCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig1", "fig10", "tab1", "compare", "uncorespec"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestRunCommandText(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"run", "tab1", "-fast"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Itanium") || !strings.Contains(out, "metric") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunCommandJSON(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"run", "tab2", "-fast", "-json"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"id": "tab2"`) || !strings.Contains(out, `"benchmarks"`) {
+		t.Fatalf("JSON output malformed:\n%s", out)
+	}
+}
+
+func TestRunCommandCSV(t *testing.T) {
+	dir := t.TempDir()
+	_, err := capture(t, func() error {
+		return run([]string{"run", "fig13", "-fast", "-csv", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "fig13_series*.csv"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no CSV series written: %v %v", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time,") {
+		t.Fatalf("CSV header missing: %q", string(data[:20]))
+	}
+}
+
+func TestRunCommandPlot(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"run", "fig13", "-fast", "-plot"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "errProb") || !strings.Contains(out, "|") {
+		t.Fatalf("plot output missing chart:\n%s", out[:200])
+	}
+}
+
+func TestRunCommandErrors(t *testing.T) {
+	if err := run([]string{"run"}); err == nil {
+		t.Error("run with no ids accepted")
+	}
+	if err := run([]string{"run", "not-an-experiment"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Error("empty args accepted")
+	}
+}
+
+func TestSeedsCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"seeds", "tab1", "-n", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "across 2 chip seeds") || !strings.Contains(out, "cores") {
+		t.Fatalf("seeds output malformed:\n%s", out)
+	}
+}
+
+func TestSeedsCommandErrors(t *testing.T) {
+	if err := run([]string{"seeds"}); err == nil {
+		t.Error("seeds with no id accepted")
+	}
+	if err := run([]string{"seeds", "a", "b"}); err == nil {
+		t.Error("seeds with two ids accepted")
+	}
+	if err := run([]string{"seeds", "nope", "-n", "1"}); err == nil {
+		t.Error("seeds with unknown id accepted")
+	}
+}
+
+func TestReportCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"report", "-fast"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "| Id | Paper | Result |") {
+		t.Fatalf("report header missing:\n%s", out[:100])
+	}
+	if strings.Contains(out, "ERROR:") {
+		t.Fatalf("report contains failures:\n%s", out)
+	}
+	for _, id := range []string{"| fig10 |", "| compare |", "| validate |"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("report missing row %s", id)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package eccspec_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"eccspec"
+)
+
+func TestSimulatorLifecycle(t *testing.T) {
+	sim := eccspec.NewSimulator(eccspec.Options{Seed: 42})
+	if sim.NumCores() != 8 || sim.NumDomains() != 4 {
+		t.Fatalf("topology %d cores / %d domains", sim.NumCores(), sim.NumDomains())
+	}
+	if sim.NominalVoltage() != 0.800 {
+		t.Fatalf("nominal %v", sim.NominalVoltage())
+	}
+	if err := sim.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	ticks := sim.Run(1.5)
+	if ticks != 1500 {
+		t.Fatalf("run stopped early at tick %d: a core died under speculation", ticks)
+	}
+	if sim.Time() < 1.49 {
+		t.Fatalf("time %v", sim.Time())
+	}
+	red := sim.AverageReduction()
+	if red < 0.05 || red > 0.35 {
+		t.Fatalf("average reduction %.3f implausible", red)
+	}
+	for d := 0; d < sim.NumDomains(); d++ {
+		if sim.DomainVoltage(d) >= sim.NominalVoltage() {
+			t.Errorf("domain %d never speculated below nominal", d)
+		}
+	}
+	if sim.CoreVoltage(0) != sim.DomainVoltage(0) {
+		t.Error("core voltage should equal its domain's setpoint")
+	}
+	if sim.TotalPower() <= 0 {
+		t.Error("no power accounted")
+	}
+	if sim.CoreEnergy(0) <= 0 {
+		t.Error("no core energy accounted")
+	}
+	if sim.Chip() == nil || sim.Control() == nil {
+		t.Error("accessors returned nil")
+	}
+}
+
+func TestMonitorErrorRateBeforeCalibration(t *testing.T) {
+	sim := eccspec.NewSimulator(eccspec.Options{Seed: 7})
+	if sim.MonitorErrorRate(0) != 0 {
+		t.Fatal("error rate nonzero before calibration")
+	}
+}
+
+func TestNewSimulatorHighPoint(t *testing.T) {
+	sim := eccspec.NewSimulator(eccspec.Options{Seed: 7, HighVoltagePoint: true})
+	if sim.NominalVoltage() != 1.100 {
+		t.Fatalf("nominal %v", sim.NominalVoltage())
+	}
+}
+
+func TestNewSimulatorWorkloadSelection(t *testing.T) {
+	sim := eccspec.NewSimulator(eccspec.Options{Seed: 7, Workload: "mcf"})
+	if sim == nil {
+		t.Fatal("nil simulator")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown workload should panic")
+		}
+	}()
+	eccspec.NewSimulator(eccspec.Options{Seed: 7, Workload: "not-a-benchmark"})
+}
+
+func TestExperimentIDs(t *testing.T) {
+	ids := eccspec.ExperimentIDs()
+	if len(ids) < 18 {
+		t.Fatalf("only %d experiments exposed", len(ids))
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := eccspec.RunExperiment("tab1", 1, true, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Itanium") {
+		t.Fatalf("unexpected report: %q", sb.String())
+	}
+	if err := eccspec.RunExperiment("bogus", 1, true, io.Discard); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestUncoreSpeculationFacade(t *testing.T) {
+	sim := eccspec.NewSimulator(eccspec.Options{Seed: 9, Workload: "jbb-8wh"})
+	if err := sim.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	before := sim.UncoreVoltage()
+	if before != sim.NominalVoltage() {
+		t.Fatalf("uncore starts at %v", before)
+	}
+	if err := sim.EnableUncoreSpeculation(); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1.5)
+	if sim.UncoreVoltage() >= before {
+		t.Fatalf("uncore rail never speculated: %v", sim.UncoreVoltage())
+	}
+}

@@ -1,0 +1,47 @@
+package eccspec_test
+
+import (
+	"fmt"
+
+	"eccspec"
+)
+
+// ExampleNewSimulator runs the complete speculation flow on one chip:
+// build, calibrate, speculate, read back the savings.
+func ExampleNewSimulator() {
+	sim := eccspec.NewSimulator(eccspec.Options{Seed: 42, Workload: "mcf"})
+	if err := sim.Calibrate(); err != nil {
+		panic(err)
+	}
+	sim.Run(1.0)
+
+	fmt.Printf("domains: %d\n", sim.NumDomains())
+	fmt.Printf("all rails below nominal: %v\n", allBelow(sim))
+	fmt.Printf("savings in the expected band: %v\n",
+		sim.AverageReduction() > 0.05 && sim.AverageReduction() < 0.35)
+	// Output:
+	// domains: 4
+	// all rails below nominal: true
+	// savings in the expected band: true
+}
+
+func allBelow(sim *eccspec.Simulator) bool {
+	for d := 0; d < sim.NumDomains(); d++ {
+		if sim.DomainVoltage(d) >= sim.NominalVoltage() {
+			return false
+		}
+	}
+	return true
+}
+
+// ExampleRunExperiment reproduces one of the paper's tables directly.
+func ExampleRunExperiment() {
+	err := eccspec.RunExperiment("tab2", 1, true, discard{})
+	fmt.Println("experiment ran:", err == nil)
+	// Output:
+	// experiment ran: true
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

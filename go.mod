@@ -1,0 +1,3 @@
+module eccspec
+
+go 1.22

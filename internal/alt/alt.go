@@ -1,0 +1,176 @@
+// Package alt implements the margin-reduction techniques the paper
+// positions itself against in §VI, as runnable controllers over the same
+// simulated chip:
+//
+//   - Razor (Ernst et al.): shadow latches detect timing faults in flight
+//     and replay the pipeline, so voltage can drop through the normal
+//     crash floor down to a metastability wall — at a per-fault replay
+//     cost and a hardware/design cost the paper's ECC scheme avoids.
+//   - Critical path monitors (Lefurgy et al., POWER7): replica delay
+//     paths sense the *logic* margin directly. They see nothing of SRAM
+//     weakness, so the cache side must keep a designer-chosen static
+//     guardband — which is exactly the conservatism ECC feedback removes.
+//
+// The compare experiment runs these alongside the paper's hardware
+// monitors and firmware baseline on identical chips.
+package alt
+
+import (
+	"eccspec/internal/chip"
+	"eccspec/internal/rng"
+)
+
+// RazorConfig tunes the Razor controller.
+type RazorConfig struct {
+	// ReplayCycles is the pipeline cost of one detected fault.
+	ReplayCycles float64
+	// TargetOverhead is the replay-overhead fraction the controller
+	// regulates toward (classic Razor operates around ~0.1-1%).
+	TargetOverhead float64
+	// DecisionTicks is how many ticks of replay data feed one voltage
+	// decision.
+	DecisionTicks int
+	// WindowV is the metastability window below the logic floor; must
+	// match chip.Params.RazorWindowV.
+	WindowV float64
+}
+
+// DefaultRazorConfig returns representative constants.
+func DefaultRazorConfig() RazorConfig {
+	return RazorConfig{
+		ReplayCycles:   12,
+		TargetOverhead: 0.005,
+		DecisionTicks:  20,
+		WindowV:        0.025,
+	}
+}
+
+// Razor drives per-domain voltage from observed replay rates.
+type Razor struct {
+	Chip *chip.Chip
+	Cfg  RazorConfig
+
+	replays []float64 // accumulated replays per domain since decision
+	ticks   int
+}
+
+// NewRazor attaches a Razor controller. The chip must have been built
+// with Params.RazorWindowV = cfg.WindowV.
+func NewRazor(c *chip.Chip, cfg RazorConfig) *Razor {
+	if c.P.RazorWindowV != cfg.WindowV {
+		panic("alt: chip not configured for this Razor window")
+	}
+	return &Razor{Chip: c, Cfg: cfg, replays: make([]float64, len(c.Domains))}
+}
+
+// Adapt consumes one tick report: charge replay overhead to each core
+// and, every DecisionTicks, steer each domain toward the target replay
+// overhead.
+func (r *Razor) Adapt(rep chip.TickReport) {
+	f := r.Chip.P.Point.FrequencyHz
+	dt := r.Chip.P.TickSeconds
+	cyclesPerTick := f * dt
+	for _, d := range r.Chip.Domains {
+		for _, id := range d.CoreIDs {
+			cr := rep.Cores[id]
+			ov := cr.ReplayRate * r.Cfg.ReplayCycles / cyclesPerTick
+			if ov > 0.95 {
+				ov = 0.95
+			}
+			r.Chip.Cores[id].SetOverheadFraction(ov)
+			r.replays[d.ID] += cr.ReplayRate
+		}
+	}
+	r.ticks++
+	if r.ticks < r.Cfg.DecisionTicks {
+		return
+	}
+	window := float64(r.Cfg.DecisionTicks) * cyclesPerTick * float64(r.Chip.P.CoresPerRail)
+	for _, d := range r.Chip.Domains {
+		overhead := r.replays[d.ID] * r.Cfg.ReplayCycles / window
+		if overhead > r.Cfg.TargetOverhead {
+			d.Rail.StepUp(1)
+		} else if overhead < r.Cfg.TargetOverhead/4 {
+			d.Rail.StepDown(1)
+		}
+		r.replays[d.ID] = 0
+	}
+	r.ticks = 0
+}
+
+// CPMConfig tunes the critical-path-monitor controller.
+type CPMConfig struct {
+	// GuardV is the logic margin the controller maintains above the
+	// sensed critical-path failure point.
+	GuardV float64
+	// SensorNoiseV is the 1-sigma error of the replica path sensor.
+	SensorNoiseV float64
+	// CacheGuardbandV is the static margin below nominal that the
+	// designers reserve for the structures the CPM cannot see (the
+	// SRAM arrays). The rail never goes below nominal minus this.
+	CacheGuardbandV float64
+	// DecisionTicks spaces voltage decisions.
+	DecisionTicks int
+}
+
+// DefaultCPMConfig returns representative constants: a 25 mV logic
+// guard and a 100 mV static cache guardband (one conventional
+// guardband, §I).
+func DefaultCPMConfig() CPMConfig {
+	return CPMConfig{
+		GuardV:          0.025,
+		SensorNoiseV:    0.002,
+		CacheGuardbandV: 0.100,
+		DecisionTicks:   20,
+	}
+}
+
+// CPM drives per-domain voltage from replica critical-path sensors.
+type CPM struct {
+	Chip *chip.Chip
+	Cfg  CPMConfig
+
+	noise *rng.Stream
+	ticks int
+}
+
+// NewCPM attaches a critical-path-monitor controller.
+func NewCPM(c *chip.Chip, cfg CPMConfig) *CPM {
+	return &CPM{Chip: c, Cfg: cfg, noise: rng.NewStream(c.P.Seed, 0xC9A1)}
+}
+
+// Floor returns the lowest setpoint the CPM configuration permits.
+func (m *CPM) Floor() float64 {
+	return m.Chip.P.Point.NominalVdd - m.Cfg.CacheGuardbandV
+}
+
+// Adapt consumes one tick report and, every DecisionTicks, adjusts each
+// domain: hold the sensed logic margin at GuardV, but never below the
+// static cache guardband floor.
+func (m *CPM) Adapt(rep chip.TickReport) {
+	m.ticks++
+	if m.ticks < m.Cfg.DecisionTicks {
+		return
+	}
+	m.ticks = 0
+	for _, d := range m.Chip.Domains {
+		// The domain's binding constraint is its slowest core's path.
+		worst := 0.0
+		for _, id := range d.CoreIDs {
+			co := m.Chip.Cores[id]
+			sensed := co.LogicVmin() + m.Cfg.SensorNoiseV*m.noise.Normal()
+			if sensed > worst {
+				worst = sensed
+			}
+		}
+		margin := d.LastEffective() - worst
+		floor := m.Floor()
+		switch {
+		case margin < m.Cfg.GuardV:
+			d.Rail.StepUp(1)
+		case margin > m.Cfg.GuardV+d.Rail.Params().StepV &&
+			d.Rail.Target() > floor+1e-9:
+			d.Rail.StepDown(1)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package alt
+
+import (
+	"testing"
+
+	"eccspec/internal/chip"
+	"eccspec/internal/workload"
+)
+
+func razorChip(seed uint64, cfg RazorConfig) *chip.Chip {
+	p := chip.DefaultParams(seed, true, false)
+	p.RazorWindowV = cfg.WindowV
+	c := chip.New(p)
+	for _, co := range c.Cores {
+		co.SetWorkload(workload.StressTest(), seed)
+	}
+	return c
+}
+
+func TestNewRazorPanicsOnMismatchedWindow(t *testing.T) {
+	c := chip.New(chip.DefaultParams(1, true, false)) // window 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRazor(c, DefaultRazorConfig())
+}
+
+func TestRazorSurvivesBelowLogicFloor(t *testing.T) {
+	cfg := DefaultRazorConfig()
+	c := razorChip(2, cfg)
+	co := c.Cores[0]
+	// Park the idle core just below the normal crash floor but above
+	// the metastability wall (stress-load droop would eat the whole
+	// window): Razor must replay, not crash.
+	co.SetWorkload(workload.Idle(), 2)
+	c.Cores[1].SetWorkload(workload.Idle(), 2)
+	v := co.LogicVmin() - 0.008
+	c.DomainOf(0).Rail.SetTarget(v)
+	sawReplays := false
+	for i := 0; i < 100; i++ {
+		rep := c.Step()
+		if rep.Cores[0].Fatal {
+			t.Fatalf("core crashed at %v despite Razor window", v)
+		}
+		if rep.Cores[0].ReplayRate > 0 {
+			sawReplays = true
+		}
+	}
+	if !sawReplays {
+		t.Fatal("no replays below the logic floor")
+	}
+}
+
+func TestRazorStillCrashesBelowMetastabilityWall(t *testing.T) {
+	cfg := DefaultRazorConfig()
+	c := razorChip(3, cfg)
+	co := c.Cores[0]
+	c.DomainOf(0).Rail.SetTarget(co.LogicVmin() - cfg.WindowV - 0.02)
+	rep := c.Step()
+	if !rep.Cores[0].Fatal {
+		t.Fatal("core survived below the metastability wall")
+	}
+}
+
+func TestRazorConvergesBelowPlainCrashFloor(t *testing.T) {
+	cfg := DefaultRazorConfig()
+	c := razorChip(4, cfg)
+	rz := NewRazor(c, cfg)
+	for i := 0; i < 2500; i++ {
+		rz.Adapt(c.Step())
+	}
+	for _, co := range c.Cores {
+		if !co.Alive() {
+			t.Fatalf("core %d died under Razor control", co.ID)
+		}
+	}
+	// Razor's descent is bounded by replay overhead, not by the crash
+	// floor, so it digs well past where the ECC scheme settles: expect
+	// an average reduction beyond ~18% of nominal.
+	sum := 0.0
+	for _, d := range c.Domains {
+		sum += 1 - d.Rail.Target()/c.P.Point.NominalVdd
+	}
+	if avg := sum / float64(len(c.Domains)); avg < 0.18 {
+		t.Fatalf("Razor average reduction %.3f; detect-and-replay headroom unused", avg)
+	}
+}
+
+func TestRazorChargesReplayOverhead(t *testing.T) {
+	cfg := DefaultRazorConfig()
+	c := razorChip(5, cfg)
+	rz := NewRazor(c, cfg)
+	co := c.Cores[0]
+	c.DomainOf(0).Rail.SetTarget(co.LogicVmin() - 0.005)
+	// One adapt step at a replay-heavy voltage must reduce work
+	// relative to an unloaded peer on a nominal rail.
+	for i := 0; i < 50; i++ {
+		rz.Adapt(c.Step())
+	}
+	w0 := co.Work()
+	w6 := c.Cores[6].Work() // untouched domain at nominal
+	if w0 >= w6 {
+		t.Fatalf("replay overhead not charged: %v vs %v", w0, w6)
+	}
+}
+
+func TestCPMHoldsLogicGuard(t *testing.T) {
+	cfg := DefaultCPMConfig()
+	cfg.CacheGuardbandV = 0.30 // effectively disable the cache floor
+	c := chip.New(chip.DefaultParams(6, true, false))
+	for _, co := range c.Cores {
+		co.SetWorkload(workload.Idle(), 6)
+	}
+	m := NewCPM(c, cfg)
+	for i := 0; i < 2000; i++ {
+		m.Adapt(c.Step())
+	}
+	for _, d := range c.Domains {
+		worst := 0.0
+		for _, id := range d.CoreIDs {
+			if f := c.Cores[id].LogicVmin(); f > worst {
+				worst = f
+			}
+		}
+		margin := d.LastEffective() - worst
+		if margin < cfg.GuardV-0.012 || margin > cfg.GuardV+0.020 {
+			t.Fatalf("domain %d margin %v, want near %v", d.ID, margin, cfg.GuardV)
+		}
+	}
+}
+
+func TestCPMRespectsCacheGuardband(t *testing.T) {
+	cfg := DefaultCPMConfig()
+	c := chip.New(chip.DefaultParams(7, true, false))
+	for _, co := range c.Cores {
+		co.SetWorkload(workload.Idle(), 7)
+	}
+	m := NewCPM(c, cfg)
+	for i := 0; i < 2000; i++ {
+		m.Adapt(c.Step())
+	}
+	floor := m.Floor()
+	for _, d := range c.Domains {
+		if d.Rail.Target() < floor-1e-9 {
+			t.Fatalf("domain %d went below the cache guardband floor: %v < %v",
+				d.ID, d.Rail.Target(), floor)
+		}
+	}
+	// With the default 100 mV guardband the floor binds before the
+	// logic guard does, so every domain should sit exactly at it.
+	for _, d := range c.Domains {
+		if d.Rail.Target() > floor+0.011 {
+			t.Fatalf("domain %d stuck high: %v, floor %v", d.ID, d.Rail.Target(), floor)
+		}
+	}
+}
+
+func TestCPMCannotSeeCacheWeakness(t *testing.T) {
+	// The structural limitation: a CPM with a small cache guardband
+	// will happily drive into the L2 correctable/uncorrectable region,
+	// because replica paths say nothing about SRAM. This is the failure
+	// mode ECC feedback exists to prevent.
+	cfg := DefaultCPMConfig()
+	cfg.CacheGuardbandV = 0.30
+	c := chip.New(chip.DefaultParams(8, true, false))
+	for _, co := range c.Cores {
+		co.SetWorkload(workload.StressTest(), 8)
+	}
+	m := NewCPM(c, cfg)
+	crashed := false
+	for i := 0; i < 3000 && !crashed; i++ {
+		rep := c.Step()
+		m.Adapt(rep)
+		for _, cr := range rep.Cores {
+			if cr.Fatal && cr.FatalCause == "uncorrectable" {
+				crashed = true
+			}
+		}
+	}
+	if !crashed {
+		t.Fatal("CPM with a thin cache guardband never hit an uncorrectable fault; " +
+			"the cache-blindness failure mode is missing")
+	}
+}

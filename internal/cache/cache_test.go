@@ -1,0 +1,290 @@
+package cache
+
+import (
+	"testing"
+
+	"eccspec/internal/ecc"
+	"eccspec/internal/sram"
+	"eccspec/internal/variation"
+)
+
+// testModel returns a variation model for a unit-test chip.
+func testModel(seed uint64) *variation.Model {
+	return variation.New(seed, variation.LowVoltage())
+}
+
+// smallConfig is a tiny cache for fast unit tests.
+func smallConfig(name string, kind variation.Kind) Config {
+	return Config{Name: name, Kind: kind, Sets: 16, Ways: 4, HitLatency: 9}
+}
+
+// safeV is comfortably above every low-voltage Vcrit, so reads are clean.
+const safeV = 0.95
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Sets: 0, Ways: 4}, 0, testModel(1))
+}
+
+func TestSizeBytes(t *testing.T) {
+	cfg := Config{Sets: 512, Ways: 8}
+	if cfg.SizeBytes() != 512*8*64 {
+		t.Fatalf("SizeBytes = %d", cfg.SizeBytes())
+	}
+}
+
+func TestFillLookupHit(t *testing.T) {
+	c := New(smallConfig("L2D", variation.KindL2D), 0, testModel(1))
+	addr := uint64(0x4000)
+	if _, hit := c.Lookup(addr); hit {
+		t.Fatal("hit in empty cache")
+	}
+	way := c.Fill(addr)
+	gotWay, hit := c.Lookup(addr)
+	if !hit || gotWay != way {
+		t.Fatalf("Lookup after Fill: way %d hit %v, want way %d", gotWay, hit, way)
+	}
+}
+
+func TestFillPatternRoundTrip(t *testing.T) {
+	c := New(smallConfig("L2D", variation.KindL2D), 0, testModel(1))
+	addr := uint64(0x1040)
+	way := c.Fill(addr)
+	res := c.ReadLine(c.SetIndex(addr), way, safeV)
+	if res.Fatal {
+		t.Fatal("fatal read at safe voltage")
+	}
+	for w := 0; w < sram.WordsPerLine; w++ {
+		if res.Data[w] != PatternFor(addr, w) {
+			t.Fatalf("word %d: got %#x want %#x", w, res.Data[w], PatternFor(addr, w))
+		}
+	}
+}
+
+func TestAccessMissThenHit(t *testing.T) {
+	c := New(smallConfig("L2D", variation.KindL2D), 0, testModel(1))
+	addr := uint64(0x8000)
+	if _, hit := c.Access(addr, safeV); hit {
+		t.Fatal("unexpected hit")
+	}
+	c.Fill(addr)
+	if _, hit := c.Access(addr, safeV); !hit {
+		t.Fatal("expected hit after fill")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Fills != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := smallConfig("L2D", variation.KindL2D)
+	c := New(cfg, 0, testModel(1))
+	// Fill all ways of set 0 with distinct tags, then one more: the
+	// first (least recently used) must be evicted.
+	stride := uint64(cfg.Sets) * sram.LineBytes
+	for i := 0; i < cfg.Ways; i++ {
+		c.Fill(uint64(i) * stride)
+	}
+	// Touch line 0 so line 1 becomes LRU.
+	if _, hit := c.Access(0, safeV); !hit {
+		t.Fatal("line 0 should be resident")
+	}
+	c.Fill(uint64(cfg.Ways) * stride)
+	if _, hit := c.Lookup(0); !hit {
+		t.Fatal("recently used line 0 was evicted")
+	}
+	if _, hit := c.Lookup(1 * stride); hit {
+		t.Fatal("LRU line 1 survived eviction")
+	}
+}
+
+func TestWriteLineReadBack(t *testing.T) {
+	c := New(smallConfig("L2D", variation.KindL2D), 0, testModel(1))
+	var data [sram.WordsPerLine]uint64
+	for i := range data {
+		data[i] = uint64(i) * 0xABCDEF
+	}
+	c.WriteLine(3, 2, data)
+	res := c.ReadLine(3, 2, safeV)
+	if res.Data != data {
+		t.Fatalf("read back %v want %v", res.Data, data)
+	}
+}
+
+func TestDisableLineExcludedFromAllocation(t *testing.T) {
+	cfg := smallConfig("L2D", variation.KindL2D)
+	c := New(cfg, 0, testModel(1))
+	c.DisableLine(0, 1)
+	if !c.LineDisabled(0, 1) {
+		t.Fatal("line not marked disabled")
+	}
+	if c.DisabledLines() != 1 {
+		t.Fatalf("DisabledLines = %d", c.DisabledLines())
+	}
+	stride := uint64(cfg.Sets) * sram.LineBytes
+	// Fill more lines into set 0 than remaining ways; way 1 must never
+	// be allocated.
+	for i := 0; i < 3*cfg.Ways; i++ {
+		way := c.Fill(uint64(i) * stride)
+		if way == 1 {
+			t.Fatal("disabled way was allocated")
+		}
+	}
+	c.EnableLine(0, 1)
+	if c.LineDisabled(0, 1) {
+		t.Fatal("line still disabled after EnableLine")
+	}
+}
+
+func TestFillPanicsWithAllWaysDisabled(t *testing.T) {
+	cfg := smallConfig("L2D", variation.KindL2D)
+	c := New(cfg, 0, testModel(1))
+	for w := 0; w < cfg.Ways; w++ {
+		c.DisableLine(5, w)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Fill(uint64(5) * sram.LineBytes)
+}
+
+func TestInvalidateAllPreservesDisabled(t *testing.T) {
+	c := New(smallConfig("L2D", variation.KindL2D), 0, testModel(1))
+	c.Fill(0x40)
+	c.DisableLine(2, 2)
+	c.InvalidateAll()
+	if _, hit := c.Lookup(0x40); hit {
+		t.Fatal("line survived InvalidateAll")
+	}
+	if !c.LineDisabled(2, 2) {
+		t.Fatal("disabled mark lost")
+	}
+}
+
+// weakLineHarness locates the weakest line of a cache and returns its
+// coordinates plus its onset voltage.
+func weakLineHarness(c *Cache) (set, way int, vmax float64) {
+	set, way, p := c.Array().WeakestLine()
+	return set, way, p.Vmax()
+}
+
+func TestReadLineRaisesCorrectableNearVcrit(t *testing.T) {
+	c := New(smallConfig("L2D", variation.KindL2D), 0, testModel(7))
+	set, way, vmax := weakLineHarness(c)
+	var data [sram.WordsPerLine]uint64
+	c.WriteLine(set, way, data)
+	corrected := 0
+	for i := 0; i < 500; i++ {
+		res := c.ReadLine(set, way, vmax) // ~50% flip probability
+		for _, ev := range res.Events {
+			if ev.Status == ecc.Corrected {
+				corrected++
+				if ev.Cache != "L2D" || ev.Set != set || ev.Way != way {
+					t.Fatalf("event coordinates wrong: %+v", ev)
+				}
+			}
+		}
+		if res.Fatal {
+			// Possible but rare at the single-bit onset voltage.
+			continue
+		}
+		if res.Data != data {
+			t.Fatal("corrected read returned wrong data")
+		}
+	}
+	if corrected < 100 {
+		t.Fatalf("only %d corrected events in 500 reads at Vcrit", corrected)
+	}
+	if c.Stats().Corrected == 0 {
+		t.Fatal("stats did not count corrected events")
+	}
+}
+
+func TestReadLineFaultsAreTransient(t *testing.T) {
+	// §V-E: faults are access faults; stored data is never corrupted.
+	c := New(smallConfig("L2D", variation.KindL2D), 0, testModel(7))
+	set, way, vmax := weakLineHarness(c)
+	var data [sram.WordsPerLine]uint64
+	for i := range data {
+		data[i] = 0x5555555555555555
+	}
+	c.WriteLine(set, way, data)
+	// Hammer the line at a voltage where flips are certain.
+	for i := 0; i < 200; i++ {
+		c.ReadLine(set, way, vmax-0.05)
+	}
+	// Read back at a safe voltage: contents must be intact, no events.
+	res := c.ReadLine(set, way, safeV)
+	if len(res.Events) != 0 || res.Fatal {
+		t.Fatalf("events at safe voltage after hammering: %+v", res.Events)
+	}
+	if res.Data != data {
+		t.Fatal("stored data was corrupted by low-voltage reads")
+	}
+}
+
+func TestReadLineUncorrectableDeepBelowVcrit(t *testing.T) {
+	c := New(smallConfig("L2D", variation.KindL2D), 0, testModel(11))
+	set, way, _ := weakLineHarness(c)
+	p := c.Array().LineProfile(set, way)
+	pair := p.PairVcrit()
+	if pair == 0 {
+		t.Skip("no double-flip pair in profile")
+	}
+	var data [sram.WordsPerLine]uint64
+	c.WriteLine(set, way, data)
+	fatal := false
+	for i := 0; i < 500 && !fatal; i++ {
+		res := c.ReadLine(set, way, pair-0.05)
+		fatal = fatal || res.Fatal
+	}
+	if !fatal {
+		t.Fatal("no uncorrectable error well below the pair Vcrit")
+	}
+	if c.Stats().Uncorrectable == 0 {
+		t.Fatal("stats did not count uncorrectable events")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Cache: "L2I", Core: 3, Set: 7, Way: 1, Word: 2, Status: ecc.Corrected}
+	want := "L2I core3 set7 way1 word2: corrected"
+	if ev.String() != want {
+		t.Fatalf("got %q want %q", ev.String(), want)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New(smallConfig("L2D", variation.KindL2D), 0, testModel(1))
+	c.Fill(0)
+	c.Access(0, safeV)
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Fatalf("stats not cleared: %+v", c.Stats())
+	}
+}
+
+func BenchmarkReadLineClean(b *testing.B) {
+	c := New(smallConfig("L2D", variation.KindL2D), 0, testModel(1))
+	c.Fill(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ReadLine(0, 0, safeV)
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(smallConfig("L2D", variation.KindL2D), 0, testModel(1))
+	c.Fill(0x40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x40, safeV)
+	}
+}

@@ -1,0 +1,199 @@
+package cache
+
+import (
+	"eccspec/internal/sram"
+	"eccspec/internal/variation"
+)
+
+// HierarchyConfig describes a core's private cache geometry plus the
+// shared L3, following Table I of the paper (Itanium 9560).
+type HierarchyConfig struct {
+	L1I Config
+	L1D Config
+	L2I Config
+	L2D Config
+	L3  Config
+	// MemLatency is the off-chip access cost in cycles.
+	MemLatency int
+}
+
+// ItaniumConfig returns the full Table I geometry:
+// 4-way 16KB L1I/L1D (1 cycle), 8-way 512KB L2I and 8-way 256KB L2D
+// (9 cycles), 32-way 32MB shared L3 (15 cycles).
+func ItaniumConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:        Config{Name: "L1I", Kind: variation.KindL1I, Sets: 64, Ways: 4, HitLatency: 1},
+		L1D:        Config{Name: "L1D", Kind: variation.KindL1D, Sets: 64, Ways: 4, HitLatency: 1},
+		L2I:        Config{Name: "L2I", Kind: variation.KindL2I, Sets: 1024, Ways: 8, HitLatency: 9},
+		L2D:        Config{Name: "L2D", Kind: variation.KindL2D, Sets: 512, Ways: 8, HitLatency: 9},
+		L3:         Config{Name: "L3", Kind: variation.KindL3, Sets: 16384, Ways: 32, HitLatency: 15},
+		MemLatency: 180,
+	}
+}
+
+// ScaledConfig returns a 1/8-capacity geometry that preserves
+// associativity and relative sizes. Experiments default to this scale:
+// weak-cell statistics shift by well under one sigma (extreme values grow
+// with sqrt(2 ln N)) while characterization sweeps run ~8x faster. The
+// CLI's -full flag selects ItaniumConfig instead.
+func ScaledConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:        Config{Name: "L1I", Kind: variation.KindL1I, Sets: 8, Ways: 4, HitLatency: 1},
+		L1D:        Config{Name: "L1D", Kind: variation.KindL1D, Sets: 8, Ways: 4, HitLatency: 1},
+		L2I:        Config{Name: "L2I", Kind: variation.KindL2I, Sets: 128, Ways: 8, HitLatency: 9},
+		L2D:        Config{Name: "L2D", Kind: variation.KindL2D, Sets: 64, Ways: 8, HitLatency: 9},
+		L3:         Config{Name: "L3", Kind: variation.KindL3, Sets: 2048, Ways: 32, HitLatency: 15},
+		MemLatency: 180,
+	}
+}
+
+// AccessResult aggregates the outcome of one hierarchy access.
+type AccessResult struct {
+	// Level is the name of the cache that served the access ("L1D",
+	// "L2D", "L3", or "Mem").
+	Level string
+	// Latency is the total access cost in cycles.
+	Latency int
+	// Events lists every ECC event raised along the path.
+	Events []Event
+	// Fatal is true when any level suffered an uncorrectable error.
+	Fatal bool
+}
+
+// Hierarchy is one core's view of the cache system: private L1/L2 pairs
+// for instructions and data, plus the shared L3.
+type Hierarchy struct {
+	Core int
+	L1I  *Cache
+	L1D  *Cache
+	L2I  *Cache
+	L2D  *Cache
+	L3   *Cache // shared; may be nil in reduced test setups
+	cfg  HierarchyConfig
+}
+
+// NewHierarchy builds a core's private caches against the chip variation
+// model. The shared L3 is passed in (one per chip); it may be nil, in
+// which case L2 misses go straight to memory.
+func NewHierarchy(cfg HierarchyConfig, core int, m *variation.Model, l3 *Cache) *Hierarchy {
+	return &Hierarchy{
+		Core: core,
+		L1I:  New(cfg.L1I, core, m),
+		L1D:  New(cfg.L1D, core, m),
+		L2I:  New(cfg.L2I, core, m),
+		L2D:  New(cfg.L2D, core, m),
+		L3:   l3,
+		cfg:  cfg,
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// accessPath runs an access through an L1/L2 pair and the shared L3.
+func (h *Hierarchy) accessPath(l1, l2 *Cache, addr uint64, v float64) AccessResult {
+	var out AccessResult
+	if res, hit := l1.Access(addr, v); hit {
+		out.Level = l1.cfg.Name
+		out.Latency = l1.cfg.HitLatency
+		out.Events = append(out.Events, res.Events...)
+		out.Fatal = res.Fatal
+		return out
+	}
+	out.Latency = l1.cfg.HitLatency
+	if res, hit := l2.Access(addr, v); hit {
+		out.Level = l2.cfg.Name
+		out.Latency += l2.cfg.HitLatency
+		out.Events = append(out.Events, res.Events...)
+		out.Fatal = res.Fatal
+		l1.Fill(addr)
+		return out
+	}
+	out.Latency += l2.cfg.HitLatency
+	if h.L3 != nil {
+		if res, hit := h.L3.Access(addr, v); hit {
+			out.Level = h.L3.cfg.Name
+			out.Latency += h.L3.cfg.HitLatency
+			out.Events = append(out.Events, res.Events...)
+			out.Fatal = res.Fatal
+			l2.Fill(addr)
+			l1.Fill(addr)
+			return out
+		}
+		out.Latency += h.L3.cfg.HitLatency
+		h.L3.Fill(addr)
+	}
+	out.Level = "Mem"
+	out.Latency += h.cfg.MemLatency
+	l2.Fill(addr)
+	l1.Fill(addr)
+	return out
+}
+
+// AccessData performs a data access at effective voltage v.
+func (h *Hierarchy) AccessData(addr uint64, v float64) AccessResult {
+	return h.accessPath(h.L1D, h.L2D, addr, v)
+}
+
+// AccessInstr performs an instruction fetch at effective voltage v.
+func (h *Hierarchy) AccessInstr(addr uint64, v float64) AccessResult {
+	return h.accessPath(h.L1I, h.L2I, addr, v)
+}
+
+// TargetedL2Test exercises one specific L2 line from software, using the
+// paper's Fig. 7 routine. Firmware cannot address an L2 way directly, so
+// it:
+//
+//  1. fetches 8 lines that map to the victim's L2 set, populating every
+//     way (which of the 8 lands in the victim way depends on LRU state);
+//  2. evicts the matching L1 set by fetching L1-conflicting lines whose
+//     L2 sets differ (possible because the L2 is a size multiple of the
+//     L1, so extra index bits exist);
+//  3. re-accesses the original 8 lines, which now miss the L1 and hit
+//     the L2 — touching the victim line.
+//
+// It returns every ECC event observed during step 3, which by
+// construction includes any events from the targeted line. data selects
+// the data-side (L1D/L2D) or instruction-side path.
+func (h *Hierarchy) TargetedL2Test(l2set int, data bool, v float64) ([]Event, bool) {
+	l1, l2 := h.L1I, h.L2I
+	access := h.AccessInstr
+	if data {
+		l1, l2 = h.L1D, h.L2D
+		access = h.AccessData
+	}
+	lineSize := uint64(sram.LineBytes)
+	l2Stride := uint64(l2.cfg.Sets) * lineSize
+	l1Stride := uint64(l1.cfg.Sets) * lineSize
+
+	// Step 1: load one address per L2 way for the victim set.
+	base := uint64(l2set) * lineSize
+	var fatal bool
+	for i := 0; i < l2.cfg.Ways; i++ {
+		r := access(base+uint64(i)*l2Stride, v)
+		fatal = fatal || r.Fatal
+	}
+	// Step 2: evict the L1 set these lines occupy. Addresses keep the
+	// L1 index bits but change the higher L2 index bits (offset by
+	// l1Stride keeps the L1 set only if l1Stride doesn't change it —
+	// it doesn't, by definition — while moving the L2 set as long as
+	// the stride is not also a multiple of the L2 span).
+	evict := base + 1*l1Stride
+	for i := 0; i < l1.cfg.Ways; i++ {
+		// Skip evict addresses that land back in the victim L2 set.
+		for l2.SetIndex(evict) == l2set {
+			evict += l1Stride
+		}
+		r := access(evict, v)
+		fatal = fatal || r.Fatal
+		evict += l2Stride // vary the tag while preserving the L1 set
+	}
+	// Step 3: re-access the original lines; they hit in L2 now.
+	var events []Event
+	for i := 0; i < l2.cfg.Ways; i++ {
+		r := access(base+uint64(i)*l2Stride, v)
+		events = append(events, r.Events...)
+		fatal = fatal || r.Fatal
+	}
+	return events, fatal
+}

@@ -1,0 +1,232 @@
+package cache
+
+import (
+	"testing"
+
+	"eccspec/internal/sram"
+	"eccspec/internal/variation"
+)
+
+// testHierarchy builds a small hierarchy with an L3 for one core.
+func testHierarchy(seed uint64, core int) *Hierarchy {
+	m := testModel(seed)
+	cfg := HierarchyConfig{
+		L1I:        Config{Name: "L1I", Kind: variation.KindL1I, Sets: 8, Ways: 4, HitLatency: 1},
+		L1D:        Config{Name: "L1D", Kind: variation.KindL1D, Sets: 8, Ways: 4, HitLatency: 1},
+		L2I:        Config{Name: "L2I", Kind: variation.KindL2I, Sets: 64, Ways: 8, HitLatency: 9},
+		L2D:        Config{Name: "L2D", Kind: variation.KindL2D, Sets: 32, Ways: 8, HitLatency: 9},
+		L3:         Config{Name: "L3", Kind: variation.KindL3, Sets: 256, Ways: 8, HitLatency: 15},
+		MemLatency: 180,
+	}
+	l3 := New(cfg.L3, -1, m)
+	return NewHierarchy(cfg, core, m, l3)
+}
+
+func TestItaniumConfigMatchesTableI(t *testing.T) {
+	cfg := ItaniumConfig()
+	cases := []struct {
+		c    Config
+		size int
+		ways int
+	}{
+		{cfg.L1I, 16 << 10, 4},
+		{cfg.L1D, 16 << 10, 4},
+		{cfg.L2I, 512 << 10, 8},
+		{cfg.L2D, 256 << 10, 8},
+		{cfg.L3, 32 << 20, 32},
+	}
+	for _, c := range cases {
+		if c.c.SizeBytes() != c.size {
+			t.Errorf("%s size %d, want %d", c.c.Name, c.c.SizeBytes(), c.size)
+		}
+		if c.c.Ways != c.ways {
+			t.Errorf("%s ways %d, want %d", c.c.Name, c.c.Ways, c.ways)
+		}
+	}
+	if cfg.L1D.HitLatency != 1 || cfg.L2D.HitLatency != 9 {
+		t.Error("hit latencies do not match Table I")
+	}
+}
+
+func TestScaledConfigPreservesShape(t *testing.T) {
+	full, scaled := ItaniumConfig(), ScaledConfig()
+	pairs := [][2]Config{
+		{full.L1I, scaled.L1I}, {full.L1D, scaled.L1D},
+		{full.L2I, scaled.L2I}, {full.L2D, scaled.L2D}, {full.L3, scaled.L3},
+	}
+	for _, p := range pairs {
+		if p[0].Ways != p[1].Ways {
+			t.Errorf("%s: associativity changed in scaled config", p[0].Name)
+		}
+		if p[0].SizeBytes() != 8*p[1].SizeBytes() {
+			t.Errorf("%s: scaled size not 1/8 of full", p[0].Name)
+		}
+	}
+}
+
+func TestColdMissGoesToMemory(t *testing.T) {
+	h := testHierarchy(1, 0)
+	r := h.AccessData(0x1000, safeV)
+	if r.Level != "Mem" {
+		t.Fatalf("cold access served by %s", r.Level)
+	}
+	if r.Latency < h.cfg.MemLatency {
+		t.Fatalf("memory access latency %d below memory cost", r.Latency)
+	}
+}
+
+func TestFillPromotesToL1(t *testing.T) {
+	h := testHierarchy(1, 0)
+	h.AccessData(0x1000, safeV)
+	r := h.AccessData(0x1000, safeV)
+	if r.Level != "L1D" {
+		t.Fatalf("second access served by %s, want L1D", r.Level)
+	}
+	if r.Latency != 1 {
+		t.Fatalf("L1 hit latency %d", r.Latency)
+	}
+}
+
+func TestInstrPathUsesInstructionCaches(t *testing.T) {
+	h := testHierarchy(1, 0)
+	h.AccessInstr(0x2000, safeV)
+	r := h.AccessInstr(0x2000, safeV)
+	if r.Level != "L1I" {
+		t.Fatalf("instruction re-access served by %s", r.Level)
+	}
+	if h.L1D.Stats().Hits+h.L1D.Stats().Misses != 0 {
+		t.Fatal("instruction access touched the data cache")
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	h := testHierarchy(1, 0)
+	base := uint64(0)
+	l1Span := uint64(h.L1D.Config().Sets) * sram.LineBytes
+	// Fill L1 set 0 beyond capacity; the first line stays in L2.
+	for i := 0; i <= h.L1D.Config().Ways; i++ {
+		h.AccessData(base+uint64(i)*l1Span*uint64(h.L2D.Config().Sets/h.L1D.Config().Sets), safeV)
+	}
+	r := h.AccessData(base, safeV)
+	if r.Level == "Mem" {
+		t.Fatal("evicted L1 line also lost from L2")
+	}
+}
+
+func TestL3ServesSecondCore(t *testing.T) {
+	m := testModel(5)
+	cfg := HierarchyConfig{
+		L1I:        Config{Name: "L1I", Kind: variation.KindL1I, Sets: 8, Ways: 4, HitLatency: 1},
+		L1D:        Config{Name: "L1D", Kind: variation.KindL1D, Sets: 8, Ways: 4, HitLatency: 1},
+		L2I:        Config{Name: "L2I", Kind: variation.KindL2I, Sets: 64, Ways: 8, HitLatency: 9},
+		L2D:        Config{Name: "L2D", Kind: variation.KindL2D, Sets: 32, Ways: 8, HitLatency: 9},
+		L3:         Config{Name: "L3", Kind: variation.KindL3, Sets: 256, Ways: 8, HitLatency: 15},
+		MemLatency: 180,
+	}
+	l3 := New(cfg.L3, -1, m)
+	h0 := NewHierarchy(cfg, 0, m, l3)
+	h1 := NewHierarchy(cfg, 1, m, l3)
+	h0.AccessData(0x7000, safeV)
+	r := h1.AccessData(0x7000, safeV)
+	if r.Level != "L3" {
+		t.Fatalf("cross-core access served by %s, want L3", r.Level)
+	}
+}
+
+func TestNilL3GoesToMemory(t *testing.T) {
+	m := testModel(9)
+	cfg := HierarchyConfig{
+		L1D:        Config{Name: "L1D", Kind: variation.KindL1D, Sets: 8, Ways: 4, HitLatency: 1},
+		L1I:        Config{Name: "L1I", Kind: variation.KindL1I, Sets: 8, Ways: 4, HitLatency: 1},
+		L2D:        Config{Name: "L2D", Kind: variation.KindL2D, Sets: 32, Ways: 8, HitLatency: 9},
+		L2I:        Config{Name: "L2I", Kind: variation.KindL2I, Sets: 64, Ways: 8, HitLatency: 9},
+		MemLatency: 100,
+	}
+	h := NewHierarchy(cfg, 0, m, nil)
+	r := h.AccessData(0x100, safeV)
+	if r.Level != "Mem" {
+		t.Fatalf("level %s", r.Level)
+	}
+	r = h.AccessData(0x100, safeV)
+	if r.Level != "L1D" {
+		t.Fatalf("refill level %s", r.Level)
+	}
+}
+
+func TestTargetedL2TestTouchesVictimSet(t *testing.T) {
+	h := testHierarchy(13, 0)
+	const victimSet = 5
+	h.TargetedL2Test(victimSet, true, safeV)
+	// Every way of the victim L2 set must now be resident.
+	resident := 0
+	for w := 0; w < h.L2D.Config().Ways; w++ {
+		// Lines are valid if a fill touched them; check via stats
+		// indirectly: re-run and count L2 hits.
+		_ = w
+	}
+	st := h.L2D.Stats()
+	if st.Fills < uint64(h.L2D.Config().Ways) {
+		t.Fatalf("targeted test filled only %d L2 lines", st.Fills)
+	}
+	_ = resident
+}
+
+func TestTargetedL2TestHitsL2OnStep3(t *testing.T) {
+	h := testHierarchy(13, 0)
+	const victimSet = 5
+	h.L2D.ResetStats()
+	h.TargetedL2Test(victimSet, true, safeV)
+	st := h.L2D.Stats()
+	// Step 3 re-accesses 8 lines that must hit in L2.
+	if st.Hits < uint64(h.L2D.Config().Ways) {
+		t.Fatalf("step 3 produced %d L2D hits, want >= %d", st.Hits, h.L2D.Config().Ways)
+	}
+}
+
+func TestTargetedL2TestSeesWeakLineErrors(t *testing.T) {
+	// Pick the weakest line of the L2D, run the targeted test on its
+	// set at its onset voltage, and require correctable events from
+	// that set.
+	h := testHierarchy(17, 0)
+	set, _, p := h.L2D.Array().WeakestLine()
+	seen := 0
+	for i := 0; i < 50; i++ {
+		events, _ := h.TargetedL2Test(set, true, p.Vmax())
+		for _, ev := range events {
+			if ev.Cache == "L2D" && ev.Set == set {
+				seen++
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("targeted test never observed the weak line's errors")
+	}
+}
+
+func TestTargetedL2TestInstructionSide(t *testing.T) {
+	h := testHierarchy(13, 0)
+	h.L2I.ResetStats()
+	h.TargetedL2Test(3, false, safeV)
+	if h.L2I.Stats().Hits == 0 {
+		t.Fatal("instruction-side targeted test produced no L2I hits")
+	}
+	if h.L2D.Stats().Hits+h.L2D.Stats().Misses != 0 {
+		t.Fatal("instruction-side test touched the data L2")
+	}
+}
+
+func BenchmarkHierarchyAccessHit(b *testing.B) {
+	h := testHierarchy(1, 0)
+	h.AccessData(0x40, safeV)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessData(0x40, safeV)
+	}
+}
+
+func BenchmarkTargetedL2Test(b *testing.B) {
+	h := testHierarchy(1, 0)
+	for i := 0; i < b.N; i++ {
+		h.TargetedL2Test(i%h.L2D.Config().Sets, true, safeV)
+	}
+}

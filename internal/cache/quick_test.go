@@ -1,0 +1,101 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eccspec/internal/rng"
+	"eccspec/internal/sram"
+	"eccspec/internal/variation"
+)
+
+// TestQuickLRUInvariants drives a cache with random fill/access sequences
+// and checks structural invariants after every operation: the most
+// recently touched line is always resident, and a set never holds two
+// lines with the same tag.
+func TestQuickLRUInvariants(t *testing.T) {
+	f := func(seed uint64, ops []uint16) bool {
+		c := New(smallConfig("L2D", variation.KindL2D), 0, testModel(seed))
+		st := rng.NewStream(seed, 0x7e57)
+		for _, op := range ops {
+			addr := uint64(op) * sram.LineBytes
+			if st.Bernoulli(0.5) {
+				c.Fill(addr)
+			} else {
+				c.Access(addr, safeV)
+			}
+			// Invariant 1: a just-filled line is resident.
+			if st.Bernoulli(0.5) {
+				c.Fill(addr)
+				if _, hit := c.Lookup(addr); !hit {
+					return false
+				}
+			}
+			// Invariant 2: no duplicate tags within the set.
+			set := c.SetIndex(addr)
+			seen := map[uint64]bool{}
+			for w := 0; w < c.cfg.Ways; w++ {
+				ln := c.lineAt(set, w)
+				if !ln.valid {
+					continue
+				}
+				if seen[ln.tag] {
+					return false
+				}
+				seen[ln.tag] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReadNeverCorruptsStorage: whatever voltage a line is read at,
+// the stored contents are unchanged afterwards (access faults are
+// transient; §V-E).
+func TestQuickReadNeverCorruptsStorage(t *testing.T) {
+	c := New(smallConfig("L2D", variation.KindL2D), 0, testModel(99))
+	f := func(set8, way8 uint8, vRaw uint16, w0 uint64) bool {
+		set := int(set8) % c.cfg.Sets
+		way := int(way8) % c.cfg.Ways
+		v := 0.3 + 0.6*float64(vRaw)/65535 // 0.3..0.9 V
+		var data [sram.WordsPerLine]uint64
+		for i := range data {
+			data[i] = w0 + uint64(i)
+		}
+		c.WriteLine(set, way, data)
+		c.ReadLine(set, way, v)
+		// Verify at a safe voltage.
+		res := c.ReadLine(set, way, 0.95)
+		return res.Data == data && !res.Fatal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHierarchyCoherence: after any access sequence, re-reading an
+// address at a safe voltage returns its canonical fill pattern from
+// whichever level serves it.
+func TestQuickHierarchyCoherence(t *testing.T) {
+	f := func(seed uint64, addrs []uint16) bool {
+		h := testHierarchy(seed, 0)
+		for _, a16 := range addrs {
+			addr := uint64(a16) * sram.LineBytes
+			h.AccessData(addr, safeV)
+		}
+		for _, a16 := range addrs {
+			addr := uint64(a16) * sram.LineBytes
+			r := h.AccessData(addr, safeV)
+			if r.Fatal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package control
+
+import (
+	"testing"
+
+	"eccspec/internal/workload"
+)
+
+// TestEmergencyPathUnderSuddenNoise: after converging with a quiet
+// domain, unleash the resonance-matched voltage virus on the rail
+// sibling. The effective voltage collapses into the deep error region;
+// the controller must respond (emergency interrupt or a stream of
+// step-ups), recover the rail, and keep both cores alive.
+func TestEmergencyPathUnderSuddenNoise(t *testing.T) {
+	c, s := testSystem(21)
+	if _, err := s.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1500; i++ {
+		c.Step()
+		s.Tick()
+	}
+	settled := c.Domains[0].Rail.Target()
+
+	// Sudden worst-case noise on the shared rail.
+	c.Cores[1].SetWorkload(workload.Virus(8, c.P.Point.FrequencyHz), 21)
+	emergencies, ups := 0, 0
+	for i := 0; i < 800; i++ {
+		c.Step()
+		for _, a := range s.Tick() {
+			if a.Domain != 0 {
+				continue
+			}
+			switch a.Kind {
+			case Emergency:
+				emergencies++
+			case StepUp:
+				ups++
+			}
+		}
+	}
+	if emergencies+ups == 0 {
+		t.Fatal("controller never raised the rail under resonant noise")
+	}
+	after := c.Domains[0].Rail.Target()
+	if after <= settled {
+		t.Fatalf("rail did not rise under noise: %.3f -> %.3f", settled, after)
+	}
+	if !c.Cores[0].Alive() || !c.Cores[1].Alive() {
+		t.Fatal("a core died despite the speculation safety net")
+	}
+}
+
+// TestSpeculationSurvivesWorkloadChurn: cycle every core through a
+// rotating set of benchmarks mid-flight; the controller must keep all
+// cores alive throughout (the paper ran benchmarks back-to-back to
+// verify exactly this, §IV-C).
+func TestSpeculationSurvivesWorkloadChurn(t *testing.T) {
+	c, s := testSystem(22)
+	if _, err := s.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	rotation := []string{"mcf", "crafty", "swim", "jbb-8wh", "crc", "stress-test"}
+	for phase := 0; phase < len(rotation); phase++ {
+		p, ok := workload.ByName(rotation[phase])
+		if !ok {
+			t.Fatalf("unknown benchmark %s", rotation[phase])
+		}
+		for _, co := range c.Cores {
+			co.SetWorkload(p, 22)
+		}
+		for i := 0; i < 400; i++ {
+			c.Step()
+			s.Tick()
+		}
+		for _, co := range c.Cores {
+			if !co.Alive() {
+				t.Fatalf("core %d died during %s", co.ID, rotation[phase])
+			}
+		}
+	}
+}
+
+// TestEmergencyRaisesByLargerIncrement: a forced emergency must move the
+// rail by EmergencySteps at once, not the usual single step.
+func TestEmergencyRaisesByLargerIncrement(t *testing.T) {
+	c, s := testSystem(23)
+	if _, err := s.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Domains[0]
+	a, _ := s.Assignment(d.ID)
+	// Park the rail deep in the error region so probes exceed the
+	// emergency ceiling immediately.
+	d.Rail.SetTarget(a.OnsetV - 0.060)
+	before := d.Rail.Target()
+	c.Step()
+	acts := s.Tick()
+	var hit bool
+	for _, act := range acts {
+		if act.Domain == d.ID && act.Kind == Emergency {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("no emergency action deep below onset")
+	}
+	want := before + float64(s.Cfg.EmergencySteps)*d.Rail.Params().StepV
+	if got := d.Rail.Target(); got < want-1e-9 {
+		t.Fatalf("emergency raised to %.3f, want >= %.3f", got, want)
+	}
+}
+
+// TestMonitoredLineInvisibleToWorkload: the de-configured monitor line
+// must never be allocated for workload data while speculation runs.
+func TestMonitoredLineInvisibleToWorkload(t *testing.T) {
+	c, s := testSystem(24)
+	if _, err := s.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, co := range c.Cores {
+		co.SetWorkload(workload.StressTest(), 24)
+	}
+	for i := 0; i < 500; i++ {
+		c.Step()
+		s.Tick()
+	}
+	for d := range c.Domains {
+		a, _ := s.Assignment(d)
+		cacheUnderTest := c.Cores[a.Core].CacheOf(a.Kind)
+		if !cacheUnderTest.LineDisabled(a.Set, a.Way) {
+			t.Fatalf("domain %d: monitored line re-entered service", d)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package control
+
+import (
+	"fmt"
+
+	"eccspec/internal/monitor"
+	"eccspec/internal/variation"
+)
+
+// Uncore speculation is a natural extension the paper leaves on the
+// table: its system scales only the core rails while "the uncore
+// components, such as the L3 cache and memory controllers" stay at
+// nominal (§IV-A4). The L3 is ECC-protected SRAM like the L2s, so the
+// same mechanism applies — calibrate the L3's weakest line, give it a
+// monitor, and run the floor/ceiling loop on the uncore rail.
+
+// uncoreState holds the optional uncore-speculation extension's state.
+type uncoreState struct {
+	mon    Prober
+	assign Assignment
+	// UncoreDomainID tags uncore actions in Tick results.
+}
+
+// UncoreDomainID is the Action.Domain value used for uncore decisions.
+const UncoreDomainID = -1
+
+// AttachUncore enables uncore speculation: sweep the shared L3 for its
+// weakest line, de-configure it, and drive the uncore rail from its
+// correctable-error rate alongside the core domains. Call after New (or
+// NewFirmwareApproximation) and before the control loop starts.
+func (s *System) AttachUncore() (Assignment, error) {
+	nominal := s.Chip.P.Point.NominalVdd
+	for v := nominal; v >= s.Cfg.CalibFloorV; v -= s.Cfg.CalibStepV {
+		set, way, found := s.sweepCache(s.Chip.L3, v)
+		if !found {
+			continue
+		}
+		a := Assignment{Domain: UncoreDomainID, Core: -1, Kind: variation.KindL3,
+			Set: set, Way: way, OnsetV: v}
+		mon := monitor.New(s.Chip.L3, monitor.Config{})
+		mon.Activate(set, way)
+		s.uncore = &uncoreState{mon: mon, assign: a}
+		return a, nil
+	}
+	return Assignment{}, fmt.Errorf("control: no correctable errors found in the L3 above %.3f V",
+		s.Cfg.CalibFloorV)
+}
+
+// UncoreAssignment returns the uncore extension's target line.
+func (s *System) UncoreAssignment() (Assignment, bool) {
+	if s.uncore == nil {
+		return Assignment{}, false
+	}
+	return s.uncore.assign, true
+}
+
+// tickUncore runs one controller iteration for the uncore rail; it
+// mirrors the per-domain logic in Tick.
+func (s *System) tickUncore() (Action, bool) {
+	if s.uncore == nil {
+		return Action{}, false
+	}
+	mon := s.uncore.mon
+	rail := s.Chip.UncoreRail
+	mon.ProbeN(s.Cfg.ProbesPerTick, s.Chip.LastUncoreEffective())
+	act := Action{Domain: UncoreDomainID}
+	if mon.TakeEmergency() {
+		act.Kind = Emergency
+		act.ErrorRate = mon.ErrorRate()
+		rail.StepUp(s.Cfg.EmergencySteps)
+		mon.ResetCounters()
+	} else if acc, _ := mon.Counters(); acc >= s.Cfg.DecisionProbes {
+		rate := mon.ErrorRate()
+		act.ErrorRate = rate
+		switch {
+		case rate > s.Cfg.CeilRate:
+			act.Kind = StepUp
+			rail.StepUp(1)
+		case rate < s.Cfg.FloorRate:
+			act.Kind = StepDown
+			rail.StepDown(1)
+		default:
+			act.Kind = Hold
+		}
+		mon.ResetCounters()
+	} else {
+		act.Kind = Pending
+		act.ErrorRate = mon.ErrorRate()
+	}
+	act.NewTarget = rail.Target()
+	return act, true
+}

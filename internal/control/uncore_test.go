@@ -1,0 +1,138 @@
+package control
+
+import (
+	"testing"
+
+	"eccspec/internal/chip"
+	"eccspec/internal/variation"
+	"eccspec/internal/workload"
+)
+
+func TestAttachUncoreCalibratesL3(t *testing.T) {
+	c, s := testSystem(31)
+	a, err := s.AttachUncore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Domain != UncoreDomainID || a.Kind != variation.KindL3 {
+		t.Fatalf("assignment %+v", a)
+	}
+	if !c.L3.LineDisabled(a.Set, a.Way) {
+		t.Fatal("uncore monitor line not de-configured")
+	}
+	got, ok := s.UncoreAssignment()
+	if !ok || got != a {
+		t.Fatal("UncoreAssignment lookup mismatch")
+	}
+	// Onset must sit above the uncore's hard floor: the early-warning
+	// property, uncore edition.
+	if a.OnsetV <= c.UncoreVmin() {
+		t.Fatalf("L3 onset %.3f not above uncore floor %.3f", a.OnsetV, c.UncoreVmin())
+	}
+}
+
+func TestUncoreAssignmentEmptyBeforeAttach(t *testing.T) {
+	_, s := testSystem(32)
+	if _, ok := s.UncoreAssignment(); ok {
+		t.Fatal("assignment reported before AttachUncore")
+	}
+}
+
+func TestUncoreTickConverges(t *testing.T) {
+	c, s := testSystem(33)
+	if _, err := s.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AttachUncore(); err != nil {
+		t.Fatal(err)
+	}
+	sawUncoreAction := false
+	for i := 0; i < 1500; i++ {
+		c.Step()
+		for _, a := range s.Tick() {
+			if a.Domain == UncoreDomainID && a.Kind != Pending {
+				sawUncoreAction = true
+			}
+		}
+	}
+	if !sawUncoreAction {
+		t.Fatal("no uncore controller decisions")
+	}
+	if c.UncoreRail.Target() >= c.P.Point.NominalVdd {
+		t.Fatalf("uncore rail never speculated: %.3f", c.UncoreRail.Target())
+	}
+	if !c.UncoreAlive() {
+		t.Fatal("uncore died under its own speculation")
+	}
+	// The uncore must settle where its monitored line's error
+	// probability sits near the control band.
+	a, _ := s.UncoreAssignment()
+	p := c.L3.Array().FlipProbability(a.Set, a.Way, c.LastUncoreEffective())
+	if p < s.Cfg.FloorRate/20 || p > s.Cfg.CeilRate*20 {
+		t.Fatalf("uncore settled at %.3f where line error prob is %v",
+			c.UncoreRail.Target(), p)
+	}
+}
+
+func TestFirmwareApproximationFullLoop(t *testing.T) {
+	// The §IV configuration end to end: self-test probers, calibration,
+	// convergence, no crashes.
+	c := chipForFirmware(34)
+	s := NewFirmwareApproximation(c, DefaultConfig())
+	if _, err := s.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1200; i++ {
+		c.Step()
+		s.Tick()
+	}
+	for _, d := range c.Domains {
+		if d.Rail.Target() >= c.P.Point.NominalVdd {
+			t.Fatalf("domain %d never speculated", d.ID)
+		}
+	}
+	for _, co := range c.Cores {
+		if !co.Alive() {
+			t.Fatalf("core %d died under firmware-approximated control", co.ID)
+		}
+		// The probing core pays a cycle cost, visible as charged
+		// overhead fractions; no assertion on magnitude here beyond
+		// survival, which methodology-level tests quantify.
+	}
+}
+
+func TestLastErrorRateTracksDecisions(t *testing.T) {
+	c, s := testSystem(35)
+	if s.LastErrorRate(0) != 0 {
+		t.Fatal("rate nonzero before calibration")
+	}
+	if _, err := s.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		c.Step()
+		s.Tick()
+	}
+	// After convergence, the last decision rate should sit in or near
+	// the control band at least for one domain.
+	any := false
+	for d := range c.Domains {
+		if r := s.LastErrorRate(d); r > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("no domain ever recorded a nonzero decision rate")
+	}
+}
+
+// chipForFirmware builds a chip whose cores run a light benchmark so the
+// firmware self-test has realistic cache competition.
+func chipForFirmware(seed uint64) *chip.Chip {
+	c, _ := testSystem(seed)
+	for _, co := range c.Cores {
+		mcf, _ := workload.ByName("mcf")
+		co.SetWorkload(mcf, seed)
+	}
+	return c
+}

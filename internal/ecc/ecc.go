@@ -1,0 +1,252 @@
+// Package ecc implements the single-error-correct, double-error-detect
+// (SECDED) Hamming(72,64) code used by the simulated caches.
+//
+// Every 64-bit data word is stored with 8 check bits: 7 Hamming parity
+// bits plus one overall parity bit. On a read, the decoder classifies the
+// word as clean, corrected (exactly one bit flipped — the ECC hardware
+// fixes it and reports a benign "correctable error" event), or detected
+// uncorrectable (two bits flipped — a machine-check in real hardware).
+//
+// These classifications are the paper's entire feedback channel: the
+// voltage speculation system drives supply voltage down until designated
+// weak cells produce a steady trickle of *correctable* events, and backs
+// off long before the uncorrectable regime.
+//
+// Layout. Codeword bit positions 1..71 hold the Hamming(71,64) code:
+// positions 1, 2, 4, 8, 16, 32, 64 are parity bits and the remaining 64
+// positions carry data bits in ascending order. Position 0 holds the
+// overall parity of positions 1..71, extending the code to SECDED.
+package ecc
+
+import "math/bits"
+
+// Status classifies the outcome of decoding a codeword.
+type Status int
+
+const (
+	// Clean: no error detected.
+	Clean Status = iota
+	// Corrected: a single-bit error was detected and corrected. This is
+	// the benign "correctable error" event that guides speculation.
+	Corrected
+	// Uncorrectable: a double-bit error was detected but cannot be
+	// corrected. In the simulated chip this is a fatal machine check.
+	Uncorrectable
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case Clean:
+		return "clean"
+	case Corrected:
+		return "corrected"
+	case Uncorrectable:
+		return "uncorrectable"
+	default:
+		return "unknown"
+	}
+}
+
+// WordBits is the number of data bits protected per codeword.
+const WordBits = 64
+
+// CodewordBits is the total number of stored bits per codeword.
+const CodewordBits = 72
+
+// Codeword is a 72-bit stored word: Lo holds bit positions 0..63 and the
+// low 8 bits of Hi hold positions 64..71.
+type Codeword struct {
+	Lo uint64
+	Hi uint64
+}
+
+// dataPositions[i] is the codeword position of data bit i: the positions
+// 1..71 that are not powers of two, ascending.
+var dataPositions [WordBits]int
+
+// parityMaskLo/Hi[j] select the codeword bits participating in Hamming
+// parity check j (positions whose index has bit j set), including the
+// parity bit at position 1<<j itself.
+var (
+	parityMaskLo [7]uint64
+	parityMaskHi [7]uint64
+)
+
+// encodeTable[b][v] is the full codeword (data placement plus parity
+// contributions) of data byte b holding value v; Encode XORs eight
+// lookups. Built once at init from the bit-level definition.
+var encodeTable [8][256]Codeword
+
+func init() {
+	i := 0
+	for pos := 1; pos <= 71; pos++ {
+		if pos&(pos-1) != 0 { // not a power of two: data position
+			dataPositions[i] = pos
+			i++
+		}
+	}
+	if i != WordBits {
+		panic("ecc: data position table construction failed")
+	}
+	for j := 0; j < 7; j++ {
+		for pos := 1; pos <= 71; pos++ {
+			if pos&(1<<j) != 0 {
+				if pos < 64 {
+					parityMaskLo[j] |= 1 << uint(pos)
+				} else {
+					parityMaskHi[j] |= 1 << uint(pos-64)
+				}
+			}
+		}
+	}
+	for b := 0; b < 8; b++ {
+		for v := 0; v < 256; v++ {
+			encodeTable[b][v] = encodeSlow(uint64(v) << uint(8*b))
+		}
+	}
+}
+
+// bit returns codeword bit at position pos (0..71).
+func (c Codeword) bit(pos int) uint64 {
+	if pos < 64 {
+		return (c.Lo >> uint(pos)) & 1
+	}
+	return (c.Hi >> uint(pos-64)) & 1
+}
+
+// setBit sets codeword bit pos to v (0 or 1).
+func (c *Codeword) setBit(pos int, v uint64) {
+	if pos < 64 {
+		c.Lo = (c.Lo &^ (1 << uint(pos))) | (v << uint(pos))
+	} else {
+		c.Hi = (c.Hi &^ (1 << uint(pos-64))) | (v << uint(pos-64))
+	}
+}
+
+// FlipBit inverts codeword bit pos (0..71). It is the fault-injection
+// hook used by the SRAM model. FlipBit panics on an out-of-range
+// position: fault coordinates are generated internally, so a bad position
+// is a programming error.
+func (c *Codeword) FlipBit(pos int) {
+	if pos < 0 || pos >= CodewordBits {
+		panic("ecc: FlipBit position out of range")
+	}
+	if pos < 64 {
+		c.Lo ^= 1 << uint(pos)
+	} else {
+		c.Hi ^= 1 << uint(pos-64)
+	}
+}
+
+// parity returns the XOR-parity (0 or 1) of the selected codeword bits.
+func parity(lo, hi uint64) uint64 {
+	return uint64((bits.OnesCount64(lo) + bits.OnesCount64(hi)) & 1)
+}
+
+// encodeSlow computes the SECDED codeword bit by bit; it defines the
+// code and seeds the byte-wise encode table.
+func encodeSlow(data uint64) Codeword {
+	var c Codeword
+	for i := 0; i < WordBits; i++ {
+		c.setBit(dataPositions[i], (data>>uint(i))&1)
+	}
+	for j := 0; j < 7; j++ {
+		// Parity bit at position 1<<j makes check j even. The bit is
+		// currently 0, so set it to the parity of the other members.
+		p := parity(c.Lo&parityMaskLo[j], c.Hi&parityMaskHi[j])
+		c.setBit(1<<j, p)
+	}
+	// Overall parity over positions 1..71 makes the whole word even.
+	c.setBit(0, parity(c.Lo&^1, c.Hi))
+	return c
+}
+
+// Encode computes the SECDED codeword for a 64-bit data word. The code
+// is linear, so the codeword is the XOR of the per-byte table entries.
+func Encode(data uint64) Codeword {
+	var c Codeword
+	for b := 0; b < 8; b++ {
+		e := &encodeTable[b][byte(data>>uint(8*b))]
+		c.Lo ^= e.Lo
+		c.Hi ^= e.Hi
+	}
+	return c
+}
+
+// ExtractData returns the 64 data bits of a codeword without any error
+// checking. Use Decode for checked reads.
+func ExtractData(c Codeword) uint64 {
+	var data uint64
+	for i := 0; i < WordBits; i++ {
+		data |= c.bit(dataPositions[i]) << uint(i)
+	}
+	return data
+}
+
+// Syndrome returns the 7-bit Hamming syndrome of a codeword. A zero
+// syndrome means no error among positions 1..71 (or an even number of
+// compensating errors the code cannot see).
+func Syndrome(c Codeword) int {
+	s := 0
+	for j := 0; j < 7; j++ {
+		if parity(c.Lo&parityMaskLo[j], c.Hi&parityMaskHi[j]) != 0 {
+			s |= 1 << j
+		}
+	}
+	return s
+}
+
+// Decode checks and, if possible, corrects a codeword. It returns the
+// decoded data word, the classification, and for Corrected results the
+// codeword bit position that was repaired (-1 otherwise).
+//
+// Decoding rules (standard extended-Hamming):
+//
+//	syndrome == 0, overall parity even: clean
+//	syndrome != 0, overall parity odd:  single error at position syndrome
+//	syndrome == 0, overall parity odd:  single error in the parity bit
+//	syndrome != 0, overall parity even: double error, uncorrectable
+//
+// On Uncorrectable the returned data is the best-effort raw extraction
+// and must not be trusted.
+func Decode(c Codeword) (data uint64, st Status, pos int) {
+	s := Syndrome(c)
+	odd := parity(c.Lo, c.Hi) != 0
+	switch {
+	case s == 0 && !odd:
+		return ExtractData(c), Clean, -1
+	case s != 0 && odd:
+		if s >= CodewordBits {
+			// A syndrome pointing outside the word means the error
+			// pattern is not a single bit flip.
+			return ExtractData(c), Uncorrectable, -1
+		}
+		c.FlipBit(s)
+		return ExtractData(c), Corrected, s
+	case s == 0 && odd:
+		// The overall parity bit itself flipped; data is intact.
+		c.FlipBit(0)
+		return ExtractData(c), Corrected, 0
+	default: // s != 0 && !odd
+		return ExtractData(c), Uncorrectable, -1
+	}
+}
+
+// DataPosition returns the codeword position that stores data bit i
+// (0 <= i < 64). It panics on out-of-range i.
+func DataPosition(i int) int {
+	if i < 0 || i >= WordBits {
+		panic("ecc: DataPosition index out of range")
+	}
+	return dataPositions[i]
+}
+
+// IsCheckBit reports whether codeword position pos holds a parity bit
+// rather than a data bit.
+func IsCheckBit(pos int) bool {
+	if pos == 0 {
+		return true
+	}
+	return pos&(pos-1) == 0
+}

@@ -1,0 +1,254 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eccspec/internal/rng"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, data := range []uint64{0, 1, 0xFFFFFFFFFFFFFFFF, 0xA5A5A5A5A5A5A5A5, 0x123456789ABCDEF0} {
+		c := Encode(data)
+		got, st, pos := Decode(c)
+		if st != Clean {
+			t.Errorf("data %#x: status %v, want clean", data, st)
+		}
+		if got != data {
+			t.Errorf("data %#x: decoded %#x", data, got)
+		}
+		if pos != -1 {
+			t.Errorf("data %#x: clean decode returned position %d", data, pos)
+		}
+	}
+}
+
+func TestSingleBitCorrectionAllPositions(t *testing.T) {
+	data := uint64(0xDEADBEEFCAFEF00D)
+	for pos := 0; pos < CodewordBits; pos++ {
+		c := Encode(data)
+		c.FlipBit(pos)
+		got, st, corrected := Decode(c)
+		if st != Corrected {
+			t.Fatalf("flip at %d: status %v, want corrected", pos, st)
+		}
+		if got != data {
+			t.Fatalf("flip at %d: decoded %#x, want %#x", pos, got, data)
+		}
+		if corrected != pos {
+			t.Fatalf("flip at %d: reported position %d", pos, corrected)
+		}
+	}
+}
+
+func TestDoubleBitDetectionSample(t *testing.T) {
+	data := uint64(0x0F0F0F0F00FF00FF)
+	for p1 := 0; p1 < CodewordBits; p1 += 5 {
+		for p2 := p1 + 1; p2 < CodewordBits; p2 += 7 {
+			c := Encode(data)
+			c.FlipBit(p1)
+			c.FlipBit(p2)
+			_, st, _ := Decode(c)
+			if st != Uncorrectable {
+				t.Fatalf("flips at %d,%d: status %v, want uncorrectable", p1, p2, st)
+			}
+		}
+	}
+}
+
+func TestDoubleBitDetectionExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive double-bit scan skipped in -short")
+	}
+	data := uint64(0x5555AAAA3333CCCC)
+	for p1 := 0; p1 < CodewordBits; p1++ {
+		for p2 := p1 + 1; p2 < CodewordBits; p2++ {
+			c := Encode(data)
+			c.FlipBit(p1)
+			c.FlipBit(p2)
+			_, st, _ := Decode(c)
+			if st != Uncorrectable {
+				t.Fatalf("flips at %d,%d: status %v, want uncorrectable", p1, p2, st)
+			}
+		}
+	}
+}
+
+func TestSyndromeZeroForCleanWord(t *testing.T) {
+	for _, data := range []uint64{0, 42, ^uint64(0)} {
+		if s := Syndrome(Encode(data)); s != 0 {
+			t.Errorf("clean word %#x has syndrome %d", data, s)
+		}
+	}
+}
+
+func TestExtractDataRoundTrip(t *testing.T) {
+	for _, data := range []uint64{0, 1, ^uint64(0), 0x8000000000000001} {
+		if got := ExtractData(Encode(data)); got != data {
+			t.Errorf("ExtractData(Encode(%#x)) = %#x", data, got)
+		}
+	}
+}
+
+func TestDataPositionsUniqueNonParity(t *testing.T) {
+	seen := make(map[int]bool)
+	for i := 0; i < WordBits; i++ {
+		p := DataPosition(i)
+		if p <= 0 || p >= CodewordBits {
+			t.Fatalf("data bit %d at invalid position %d", i, p)
+		}
+		if IsCheckBit(p) {
+			t.Fatalf("data bit %d mapped to check position %d", i, p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate data position %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestDataPositionPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DataPosition(64) did not panic")
+		}
+	}()
+	DataPosition(WordBits)
+}
+
+func TestFlipBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FlipBit(72) did not panic")
+		}
+	}()
+	var c Codeword
+	c.FlipBit(CodewordBits)
+}
+
+func TestIsCheckBit(t *testing.T) {
+	checks := map[int]bool{0: true, 1: true, 2: true, 3: false, 4: true,
+		5: false, 8: true, 16: true, 32: true, 64: true, 63: false, 71: false}
+	for pos, want := range checks {
+		if got := IsCheckBit(pos); got != want {
+			t.Errorf("IsCheckBit(%d) = %v, want %v", pos, got, want)
+		}
+	}
+}
+
+func TestFlipBitInvolution(t *testing.T) {
+	c := Encode(0xABCDEF)
+	orig := c
+	for pos := 0; pos < CodewordBits; pos++ {
+		c.FlipBit(pos)
+		c.FlipBit(pos)
+	}
+	if c != orig {
+		t.Fatal("double flip did not restore codeword")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Clean.String() != "clean" || Corrected.String() != "corrected" ||
+		Uncorrectable.String() != "uncorrectable" || Status(9).String() != "unknown" {
+		t.Fatal("Status.String mismatch")
+	}
+}
+
+// Property: the table-driven encoder matches the bit-level definition.
+func TestQuickEncodeMatchesSlow(t *testing.T) {
+	f := func(data uint64) bool {
+		return Encode(data) == encodeSlow(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary data.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data uint64) bool {
+		got, st, _ := Decode(Encode(data))
+		return st == Clean && got == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single flip of arbitrary data is corrected back.
+func TestQuickSingleFlipCorrected(t *testing.T) {
+	f := func(data uint64, posSeed uint8) bool {
+		pos := int(posSeed) % CodewordBits
+		c := Encode(data)
+		c.FlipBit(pos)
+		got, st, cp := Decode(c)
+		return st == Corrected && got == data && cp == pos
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any distinct double flip is flagged uncorrectable (and never
+// silently mis-corrected into Clean).
+func TestQuickDoubleFlipDetected(t *testing.T) {
+	f := func(data uint64, s1, s2 uint8) bool {
+		p1 := int(s1) % CodewordBits
+		p2 := int(s2) % CodewordBits
+		if p1 == p2 {
+			return true
+		}
+		c := Encode(data)
+		c.FlipBit(p1)
+		c.FlipBit(p2)
+		_, st, _ := Decode(c)
+		return st == Uncorrectable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Triple-bit errors are beyond the code's guarantees, but the decoder must
+// still return a definite classification without panicking.
+func TestTripleFlipNoPanic(t *testing.T) {
+	st := rng.NewStream(1)
+	for i := 0; i < 1000; i++ {
+		c := Encode(st.Uint64())
+		p1 := st.Intn(CodewordBits)
+		p2 := (p1 + 1 + st.Intn(CodewordBits-1)) % CodewordBits
+		p3 := (p2 + 1 + st.Intn(CodewordBits-1)) % CodewordBits
+		if p3 == p1 {
+			continue
+		}
+		c.FlipBit(p1)
+		c.FlipBit(p2)
+		c.FlipBit(p3)
+		_, s, _ := Decode(c)
+		_ = s
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	c := Encode(0xDEADBEEF)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(c)
+	}
+}
+
+func BenchmarkDecodeCorrected(b *testing.B) {
+	c := Encode(0xDEADBEEF)
+	c.FlipBit(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(c)
+	}
+}

@@ -1,0 +1,31 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"eccspec/internal/ecc"
+)
+
+// Example shows the SECDED life cycle: a stored word survives one bit
+// flip (corrected, with a benign event) and detects two.
+func Example() {
+	data := uint64(0xCAFEF00D)
+	cw := ecc.Encode(data)
+
+	// One flipped cell: corrected transparently.
+	cw1 := cw
+	cw1.FlipBit(17)
+	got, st, pos := ecc.Decode(cw1)
+	fmt.Printf("single flip: %s at bit %d, data intact: %v\n", st, pos, got == data)
+
+	// Two flipped cells in the same word: detected, not correctable.
+	cw2 := cw
+	cw2.FlipBit(17)
+	cw2.FlipBit(42)
+	_, st2, _ := ecc.Decode(cw2)
+	fmt.Printf("double flip: %s\n", st2)
+
+	// Output:
+	// single flip: corrected at bit 17, data intact: true
+	// double flip: uncorrectable
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"eccspec/internal/chip"
+	"eccspec/internal/control"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "pareto",
+		Title: "Energy-performance frontier with and without ECC-guided speculation",
+		Paper: "Section I (extension)",
+		Run:   runPareto,
+	})
+}
+
+// runPareto casts the paper's motivation (§I: handheld systems want both
+// performance and battery life) as an explicit frontier: at each
+// operating frequency the chip delivers a fixed performance (in
+// instructions per second) and some energy per instruction; speculation
+// moves every point down the energy axis without touching performance.
+// The headline metric is the iso-energy performance gain: how much
+// faster the speculated chip can run on the unspeculated chip's energy
+// budget.
+func runPareto(o Options) (*Result, error) {
+	freqs := []float64{340e6, 500e6, 750e6, 1000e6}
+	converge := o.scale(1500, 200)
+	measure := o.scale(1500, 200)
+
+	type point struct {
+		freq    float64
+		gips    float64 // delivered instructions per second, chip-wide
+		epwBase float64 // joules per instruction, nominal voltage
+		epwSpec float64 // joules per instruction, speculated
+	}
+	var pts []point
+	for _, f := range freqs {
+		params := chip.DefaultParamsAt(o.Seed, f, o.Full)
+		measureRun := func(speculate bool) (epw, work float64, err error) {
+			c := chip.New(params)
+			assignSuite(c, "SPECint", o.Seed)
+			var ctl *control.System
+			if speculate {
+				ctl = control.New(c, control.DefaultConfig())
+				if _, err := ctl.Calibrate(); err != nil {
+					return 0, 0, err
+				}
+				for t := 0; t < converge; t++ {
+					c.Step()
+					ctl.Tick()
+				}
+			}
+			for _, co := range c.Cores {
+				co.ResetAccounting()
+			}
+			for t := 0; t < measure; t++ {
+				c.Step()
+				if speculate {
+					ctl.Tick()
+				}
+			}
+			var e float64
+			for i, co := range c.Cores {
+				if !co.Alive() {
+					return 0, 0, fmt.Errorf("core %d died at %.0f MHz (spec=%v)", i, f/1e6, speculate)
+				}
+				e += co.Energy()
+				work += co.Work()
+			}
+			return e / work, work, nil
+		}
+		epwB, work, err := measureRun(false)
+		if err != nil {
+			return nil, err
+		}
+		epwS, _, err := measureRun(true)
+		if err != nil {
+			return nil, err
+		}
+		seconds := float64(measure) * params.TickSeconds
+		pts = append(pts, point{freq: f, gips: work / seconds / 1e9,
+			epwBase: epwB, epwSpec: epwS})
+	}
+
+	tbl := NewTextTable("frequency", "performance", "nJ/inst (nominal)", "nJ/inst (speculated)", "energy saved")
+	metrics := map[string]float64{}
+	for _, p := range pts {
+		key := fmt.Sprintf("%.0f", p.freq/1e6)
+		metrics["epw_base_mhz"+key] = p.epwBase
+		metrics["epw_spec_mhz"+key] = p.epwSpec
+		metrics["gips_mhz"+key] = p.gips
+		tbl.AddRow(fmt.Sprintf("%.0f MHz", p.freq/1e6),
+			fmt.Sprintf("%.2f GIPS", p.gips),
+			fmt.Sprintf("%.3f", p.epwBase*1e9),
+			fmt.Sprintf("%.3f", p.epwSpec*1e9),
+			fmt.Sprintf("%.1f%%", 100*(1-p.epwSpec/p.epwBase)))
+	}
+	// Iso-energy gain: the fastest speculated tier whose energy per
+	// instruction undercuts the *slowest* nominal tier's.
+	baseBudget := pts[0].epwBase
+	gain := 1.0
+	for _, p := range pts {
+		if p.epwSpec <= baseBudget && p.gips/pts[0].gips > gain {
+			gain = p.gips / pts[0].gips
+		}
+	}
+	metrics["iso_energy_perf_gain"] = gain
+	return &Result{
+		ID: "pareto", Title: "Energy-performance frontier",
+		Headline: fmt.Sprintf(
+			"at the 340 MHz nominal energy budget, speculation affords %.2fx the performance",
+			gain),
+		Table:   tbl,
+		Metrics: metrics,
+	}, nil
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eccspec/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tab1",
+		Title: "Architectural and system configuration",
+		Paper: "Table I",
+		Run:   runTab1,
+	})
+	register(Experiment{
+		ID:    "tab2",
+		Title: "Applications and benchmarks used in the evaluation",
+		Paper: "Table II",
+		Run:   runTab2,
+	})
+}
+
+func runTab1(o Options) (*Result, error) {
+	c := newChip(o, true)
+	h := c.P.Hier
+	geom := "scaled 1/8"
+	if o.Full {
+		geom = "full Table I"
+	}
+	tbl := NewTextTable("parameter", "value")
+	rows := [][2]string{
+		{"Processor", "Itanium II 9560 (simulated)"},
+		{"Cores", fmt.Sprintf("%d, in-order", c.P.NumCores)},
+		{"Frequency", "2.53 GHz (high), 340 MHz (low)"},
+		{"Nominal Vdd", "1.10 V (high), 800 mV (low)"},
+		{"Register file", fmt.Sprintf("%d lines x 64 B per core", c.P.RegFileLines)},
+		{"L1 data cache", describeCache(h.L1D.Ways, h.L1D.SizeBytes(), h.L1D.HitLatency)},
+		{"L1 instruction cache", describeCache(h.L1I.Ways, h.L1I.SizeBytes(), h.L1I.HitLatency)},
+		{"L2 data cache", describeCache(h.L2D.Ways, h.L2D.SizeBytes(), h.L2D.HitLatency)},
+		{"L2 instruction cache", describeCache(h.L2I.Ways, h.L2I.SizeBytes(), h.L2I.HitLatency)},
+		{"L3 unified", describeCache(h.L3.Ways, h.L3.SizeBytes(), h.L3.HitLatency)},
+		{"Voltage domains", fmt.Sprintf("%d core domains (%d cores each) + uncore",
+			len(c.Domains), c.P.CoresPerRail)},
+		{"Regulator step", fmt.Sprintf("%.0f mV", 1000*c.P.Rail.StepV)},
+		{"PDN resonance", fmt.Sprintf("%.1f MHz nominal", c.P.Rail.FRes/1e6)},
+		{"Cache geometry", geom},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r[0], r[1])
+	}
+	return &Result{
+		ID: "tab1", Title: "System configuration",
+		Headline: fmt.Sprintf("8-core CMP, %d voltage domains, %s cache geometry",
+			len(c.Domains), geom),
+		Table: tbl,
+		Metrics: map[string]float64{
+			"cores":   float64(c.P.NumCores),
+			"domains": float64(len(c.Domains)),
+			"l2i_kb":  float64(h.L2I.SizeBytes()) / 1024,
+			"l2d_kb":  float64(h.L2D.SizeBytes()) / 1024,
+		},
+	}, nil
+}
+
+func describeCache(ways, size, latency int) string {
+	unit := "KB"
+	sz := float64(size) / 1024
+	if sz >= 1024 {
+		unit = "MB"
+		sz /= 1024
+	}
+	return fmt.Sprintf("%d-way %.0f %s, %d-cycle", ways, sz, unit, latency)
+}
+
+func runTab2(o Options) (*Result, error) {
+	tbl := NewTextTable("suite", "benchmarks")
+	count := 0
+	for _, suite := range workload.SuiteNames() {
+		var names []string
+		for _, p := range workload.Suites()[suite] {
+			names = append(names, p.Name)
+			count++
+		}
+		tbl.AddRow(suite, strings.Join(names, ", "))
+	}
+	tbl.AddRow("Stress test", workload.StressTest().Name+" (CPU, cache and memory intensive kernels)")
+	return &Result{
+		ID: "tab2", Title: "Benchmark inventory",
+		Headline: fmt.Sprintf("%d benchmarks across %d suites plus the stress test",
+			count, len(workload.SuiteNames())),
+		Table: tbl,
+		Metrics: map[string]float64{
+			"benchmarks": float64(count),
+			"suites":     float64(len(workload.SuiteNames())),
+		},
+	}, nil
+}

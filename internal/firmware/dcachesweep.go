@@ -1,0 +1,70 @@
+package firmware
+
+import (
+	"eccspec/internal/cache"
+	"eccspec/internal/sram"
+)
+
+// DataSweep is the data-cache half of the §III-C calibration sweep: "a
+// set of loads and stores are performed in cache line sized increments"
+// across enough addresses to cover every set and way of the L2 data
+// cache. Like the instruction sweep it runs through the core's normal
+// access path, so the L1 filters the stream and the second pass hits the
+// resident L2 lines under test.
+type DataSweep struct {
+	hier *cache.Hierarchy
+	// Region is the base physical address of the swept buffer.
+	Region uint64
+}
+
+// NewDataSweep prepares a sweep over the core's data-side caches.
+func NewDataSweep(h *cache.Hierarchy, region uint64) *DataSweep {
+	return &DataSweep{hier: h, Region: region}
+}
+
+// Run performs one full pass at effective voltage v and returns the same
+// report shape as the instruction sweep.
+func (s *DataSweep) Run(v float64) SweepResult {
+	cfg := s.hier.L2D.Config()
+	lineSpan := uint64(sram.LineBytes)
+	span := uint64(cfg.Sets) * lineSpan
+	res := SweepResult{FirstErrSet: -1, FirstErrWay: -1}
+
+	access := func(addr uint64) {
+		r := s.hier.AccessData(addr, v)
+		res.Fetches++
+		for _, ev := range r.Events {
+			if ev.Cache == "L2D" && res.FirstErrSet < 0 {
+				res.FirstErrSet, res.FirstErrWay = ev.Set, ev.Way
+			}
+		}
+		res.Events = append(res.Events, r.Events...)
+		res.Fatal = res.Fatal || r.Fatal
+	}
+	for pass := 0; pass < 2; pass++ {
+		for way := 0; way < cfg.Ways; way++ {
+			base := s.Region + uint64(way)*span
+			for set := 0; set < cfg.Sets; set++ {
+				access(base + uint64(set)*lineSpan)
+			}
+		}
+	}
+	return res
+}
+
+// Coverage reports how many L2D lines currently hold swept buffer lines.
+func (s *DataSweep) Coverage() int {
+	cfg := s.hier.L2D.Config()
+	lineSpan := uint64(sram.LineBytes)
+	span := uint64(cfg.Sets) * lineSpan
+	n := 0
+	for way := 0; way < cfg.Ways; way++ {
+		base := s.Region + uint64(way)*span
+		for set := 0; set < cfg.Sets; set++ {
+			if _, hit := s.hier.L2D.Lookup(base + uint64(set)*lineSpan); hit {
+				n++
+			}
+		}
+	}
+	return n
+}

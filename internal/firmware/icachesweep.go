@@ -1,0 +1,106 @@
+package firmware
+
+import (
+	"eccspec/internal/cache"
+	"eccspec/internal/sram"
+)
+
+// InstructionSweep implements the paper's Fig. 6 instruction-cache sweep
+// mechanically: System Firmware flashes a cache-line-sized template of
+// straight-line instructions in ROM, copies it sequentially across a
+// region of physical memory at boot, and then *executes* through the
+// replicas — each template ends in a conditional branch to the next
+// cache-line-aligned copy — until every set and way of the instruction
+// caches has been exercised. The data-side sweep (§III-C) is the simpler
+// loads-and-stores analogue.
+//
+// In the simulation the executed templates become instruction-fetch
+// accesses through the core's hierarchy. The sweep walks enough
+// consecutive line addresses to cover every L2I set, repeated for every
+// way with distinct tags, so each L2I line is filled and then re-fetched
+// at the probe voltage (the re-fetch hits the L2 after the L1 replicas
+// are evicted by the walk itself — the L1 is much smaller than the L2).
+type InstructionSweep struct {
+	hier *cache.Hierarchy
+	// Region is the base physical address of the replicated templates.
+	Region uint64
+}
+
+// NewInstructionSweep prepares a sweep over the core's instruction-side
+// caches.
+func NewInstructionSweep(h *cache.Hierarchy, region uint64) *InstructionSweep {
+	return &InstructionSweep{hier: h, Region: region}
+}
+
+// SweepResult reports one full pass.
+type SweepResult struct {
+	// Fetches is the number of template executions (line fetches).
+	Fetches int
+	// Events is every ECC event raised during the pass.
+	Events []cache.Event
+	// FirstErrSet / FirstErrWay locate the first L2I line that reported
+	// an event (-1 if none).
+	FirstErrSet, FirstErrWay int
+	// Fatal reports an uncorrectable fault during the sweep.
+	Fatal bool
+}
+
+// Run executes one full sweep at effective voltage v: the walk covers
+// l2Sets x l2Ways distinct line addresses twice — first to populate the
+// L2I, then to re-execute every template so each resident line is
+// re-fetched from the L2.
+func (s *InstructionSweep) Run(v float64) SweepResult {
+	cfg := s.hier.L2I.Config()
+	lineSpan := uint64(sram.LineBytes)
+	span := uint64(cfg.Sets) * lineSpan
+	res := SweepResult{FirstErrSet: -1, FirstErrWay: -1}
+
+	fetch := func(addr uint64) {
+		r := s.hier.AccessInstr(addr, v)
+		res.Fetches++
+		for _, ev := range r.Events {
+			if ev.Cache == "L2I" && res.FirstErrSet < 0 {
+				res.FirstErrSet, res.FirstErrWay = ev.Set, ev.Way
+			}
+		}
+		res.Events = append(res.Events, r.Events...)
+		res.Fatal = res.Fatal || r.Fatal
+	}
+	// Pass 1: sequential execution through the replicated templates,
+	// one tag per way, populating the whole L2I.
+	for way := 0; way < cfg.Ways; way++ {
+		base := s.Region + uint64(way)*span
+		for set := 0; set < cfg.Sets; set++ {
+			fetch(base + uint64(set)*lineSpan)
+		}
+	}
+	// Pass 2: branch back through every template; the tiny L1I holds
+	// only the tail of the walk, so these fetches hit the L2I lines
+	// under test.
+	for way := 0; way < cfg.Ways; way++ {
+		base := s.Region + uint64(way)*span
+		for set := 0; set < cfg.Sets; set++ {
+			fetch(base + uint64(set)*lineSpan)
+		}
+	}
+	return res
+}
+
+// Coverage reports how many L2I lines currently hold sweep templates
+// (valid lines within the sweep's address region), letting tests verify
+// the walk filled the entire array.
+func (s *InstructionSweep) Coverage() int {
+	cfg := s.hier.L2I.Config()
+	lineSpan := uint64(sram.LineBytes)
+	span := uint64(cfg.Sets) * lineSpan
+	n := 0
+	for way := 0; way < cfg.Ways; way++ {
+		base := s.Region + uint64(way)*span
+		for set := 0; set < cfg.Sets; set++ {
+			if _, hit := s.hier.L2I.Lookup(base + uint64(set)*lineSpan); hit {
+				n++
+			}
+		}
+	}
+	return n
+}

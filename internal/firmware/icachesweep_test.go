@@ -1,0 +1,124 @@
+package firmware
+
+import (
+	"testing"
+
+	"eccspec/internal/cache"
+	"eccspec/internal/variation"
+)
+
+func sweepHierarchy(seed uint64) *cache.Hierarchy {
+	m := variation.New(seed, variation.LowVoltage())
+	cfg := cache.HierarchyConfig{
+		L1I:        cache.Config{Name: "L1I", Kind: variation.KindL1I, Sets: 8, Ways: 4, HitLatency: 1},
+		L1D:        cache.Config{Name: "L1D", Kind: variation.KindL1D, Sets: 8, Ways: 4, HitLatency: 1},
+		L2I:        cache.Config{Name: "L2I", Kind: variation.KindL2I, Sets: 64, Ways: 8, HitLatency: 9},
+		L2D:        cache.Config{Name: "L2D", Kind: variation.KindL2D, Sets: 32, Ways: 8, HitLatency: 9},
+		MemLatency: 100,
+	}
+	return cache.NewHierarchy(cfg, 0, m, nil)
+}
+
+func TestInstructionSweepCoversWholeL2I(t *testing.T) {
+	h := sweepHierarchy(1)
+	sw := NewInstructionSweep(h, 0)
+	res := sw.Run(0.95)
+	total := h.L2I.Config().Sets * h.L2I.Config().Ways
+	if got := sw.Coverage(); got != total {
+		t.Fatalf("sweep covered %d/%d L2I lines", got, total)
+	}
+	if res.Fetches != 2*total {
+		t.Fatalf("fetches %d, want %d", res.Fetches, 2*total)
+	}
+	if res.Fatal || res.FirstErrSet != -1 {
+		t.Fatalf("errors at safe voltage: %+v", res)
+	}
+}
+
+func TestInstructionSweepExercisesL2NotJustL1(t *testing.T) {
+	h := sweepHierarchy(2)
+	sw := NewInstructionSweep(h, 0)
+	h.L2I.ResetStats()
+	sw.Run(0.95)
+	st := h.L2I.Stats()
+	// Pass 2 must hit resident L2I lines (the L1 is far too small to
+	// shield them).
+	if st.Hits < uint64(h.L2I.Config().Sets*h.L2I.Config().Ways/2) {
+		t.Fatalf("only %d L2I hits; the sweep is not exercising the L2", st.Hits)
+	}
+}
+
+func TestInstructionSweepFindsWeakLine(t *testing.T) {
+	h := sweepHierarchy(3)
+	set, way, p := h.L2I.Array().WeakestLine()
+	sw := NewInstructionSweep(h, 0)
+	// Probe a few millivolts below the weakest cell's onset so its
+	// flip probability is high on every fetch.
+	found := false
+	for pass := 0; pass < 6 && !found; pass++ {
+		res := sw.Run(p.Vmax() - 0.005)
+		for _, ev := range res.Events {
+			if ev.Cache == "L2I" && ev.Set == set && ev.Way == way {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("sweep never reported the weakest L2I line (%d,%d)", set, way)
+	}
+}
+
+func TestInstructionSweepFirstErrorCoordinates(t *testing.T) {
+	h := sweepHierarchy(4)
+	_, _, p := h.L2I.Array().WeakestLine()
+	sw := NewInstructionSweep(h, 0)
+	res := sw.Run(p.Vmax() - 0.010)
+	if res.FirstErrSet < 0 {
+		t.Skip("no error this pass; probabilistic")
+	}
+	if res.FirstErrSet >= h.L2I.Config().Sets || res.FirstErrWay >= h.L2I.Config().Ways {
+		t.Fatalf("first-error coordinates out of range: (%d,%d)",
+			res.FirstErrSet, res.FirstErrWay)
+	}
+}
+
+func TestDataSweepCoversWholeL2D(t *testing.T) {
+	h := sweepHierarchy(6)
+	sw := NewDataSweep(h, 0)
+	res := sw.Run(0.95)
+	total := h.L2D.Config().Sets * h.L2D.Config().Ways
+	if got := sw.Coverage(); got != total {
+		t.Fatalf("sweep covered %d/%d L2D lines", got, total)
+	}
+	if res.Fatal || res.FirstErrSet != -1 {
+		t.Fatalf("errors at safe voltage: %+v", res)
+	}
+}
+
+func TestDataSweepFindsWeakLine(t *testing.T) {
+	h := sweepHierarchy(7)
+	set, way, p := h.L2D.Array().WeakestLine()
+	sw := NewDataSweep(h, 0)
+	found := false
+	for pass := 0; pass < 6 && !found; pass++ {
+		res := sw.Run(p.Vmax() - 0.005)
+		for _, ev := range res.Events {
+			if ev.Cache == "L2D" && ev.Set == set && ev.Way == way {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("sweep never reported the weakest L2D line (%d,%d)", set, way)
+	}
+}
+
+func TestDataSweepDoesNotTouchInstructionSide(t *testing.T) {
+	h := sweepHierarchy(8)
+	h.L2I.ResetStats()
+	NewDataSweep(h, 0).Run(0.95)
+	st := h.L2I.Stats()
+	if st.Hits+st.Misses != 0 {
+		t.Fatal("data sweep leaked into the instruction caches")
+	}
+}

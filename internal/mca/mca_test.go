@@ -1,0 +1,147 @@
+package mca
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReportAndRetrieve(t *testing.T) {
+	l := NewLog(Config{Capacity: 8, HoldoffSeconds: 0})
+	for i := 0; i < 3; i++ {
+		if !l.Report(Event{Time: float64(i), Core: 0, Bank: "L2D", Set: i, Way: 1}) {
+			t.Fatalf("report %d rejected with zero hold-off", i)
+		}
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len %d", l.Len())
+	}
+	evs := l.Events()
+	if evs[0].Set != 0 || evs[2].Set != 2 {
+		t.Fatalf("order wrong: %v", evs)
+	}
+	rep, sup := l.Counts()
+	if rep != 3 || sup != 0 {
+		t.Fatalf("counts %d/%d", rep, sup)
+	}
+}
+
+func TestRingWrapsOldestFirst(t *testing.T) {
+	l := NewLog(Config{Capacity: 4, HoldoffSeconds: 0})
+	for i := 0; i < 7; i++ {
+		l.Report(Event{Time: float64(i), Core: 0, Bank: "L2D", Set: i})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("len %d", l.Len())
+	}
+	evs := l.Events()
+	for i, e := range evs {
+		if e.Set != i+3 {
+			t.Fatalf("wrap order wrong at %d: %v", i, evs)
+		}
+	}
+}
+
+func TestThrottleFoldsBursts(t *testing.T) {
+	l := NewLog(Config{Capacity: 16, HoldoffSeconds: 0.010})
+	if !l.Report(Event{Time: 0, Core: 1, Bank: "L2I", Set: 5, Way: 2}) {
+		t.Fatal("first report should pass")
+	}
+	// A burst inside the hold-off window is folded, not logged.
+	for i := 1; i <= 4; i++ {
+		if l.Report(Event{Time: 0.001 * float64(i), Core: 1, Bank: "L2I", Set: 5, Way: 2}) {
+			t.Fatalf("burst event %d passed the throttle", i)
+		}
+	}
+	_, sup := l.Counts()
+	if sup != 4 {
+		t.Fatalf("suppressed %d, want 4", sup)
+	}
+	// After the window, the pending fold flushes along with the new
+	// report.
+	l.Report(Event{Time: 0.020, Core: 1, Bank: "L2I", Set: 5, Way: 2})
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d events, want first + flushed fold + new", len(evs))
+	}
+	if evs[1].Count != 4 {
+		t.Fatalf("fold count %d, want 4", evs[1].Count)
+	}
+}
+
+func TestThrottleIsPerBank(t *testing.T) {
+	l := NewLog(Config{Capacity: 16, HoldoffSeconds: 0.010})
+	l.Report(Event{Time: 0, Core: 0, Bank: "L2D"})
+	if !l.Report(Event{Time: 0.001, Core: 0, Bank: "L2I"}) {
+		t.Fatal("different bank throttled by sibling")
+	}
+	if !l.Report(Event{Time: 0.002, Core: 1, Bank: "L2D"}) {
+		t.Fatal("different core throttled by sibling")
+	}
+}
+
+func TestProfileAggregates(t *testing.T) {
+	l := NewLog(Config{Capacity: 64, HoldoffSeconds: 0})
+	for i := 0; i < 5; i++ {
+		l.Report(Event{Time: float64(i), Core: 2, Bank: "L2D", Set: 7, Way: 3, Count: 2})
+	}
+	l.Report(Event{Time: 9, Core: 2, Bank: "L2D", Set: 1, Way: 0})
+	prof := l.Profile()
+	if len(prof) != 2 {
+		t.Fatalf("%d profile entries", len(prof))
+	}
+	top := prof[0]
+	if top.Set != 7 || top.Way != 3 || top.Total != 10 || top.Events != 5 {
+		t.Fatalf("top entry %+v", top)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: 1.5, Core: 3, Bank: "L2I", Set: 12, Way: 4, Count: 2}
+	want := "t=1.500s core3 L2I set=12 way=4 count=2"
+	if e.String() != want {
+		t.Fatalf("got %q", e.String())
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	l := NewLog(Config{})
+	if cap(l.ring) != DefaultConfig().Capacity {
+		t.Fatalf("capacity %d", cap(l.ring))
+	}
+	l2 := NewLog(Config{Capacity: 4, HoldoffSeconds: -1})
+	if l2.cfg.HoldoffSeconds != 0 {
+		t.Fatal("negative hold-off not clamped")
+	}
+}
+
+func TestQuickLenNeverExceedsCapacity(t *testing.T) {
+	f := func(times []uint16) bool {
+		l := NewLog(Config{Capacity: 32, HoldoffSeconds: 0.005})
+		for _, tt := range times {
+			l.Report(Event{Time: float64(tt) / 100, Core: int(tt) % 4, Bank: "L2D",
+				Set: int(tt) % 64, Way: int(tt) % 8})
+		}
+		return l.Len() <= 32 && len(l.Events()) == l.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsCopyBeforeWrap(t *testing.T) {
+	l := NewLog(Config{Capacity: 8, HoldoffSeconds: 0})
+	l.Report(Event{Time: 1, Core: 0, Bank: "L2D", Set: 5})
+	evs := l.Events()
+	evs[0].Set = 99
+	if l.Events()[0].Set != 5 {
+		t.Fatal("Events exposed internal storage")
+	}
+}
+
+func TestReportDefaultsCountToOne(t *testing.T) {
+	l := NewLog(Config{Capacity: 4, HoldoffSeconds: 0})
+	l.Report(Event{Time: 0, Core: 0, Bank: "L2D"})
+	if l.Events()[0].Count != 1 {
+		t.Fatalf("count %d, want 1", l.Events()[0].Count)
+	}
+}

@@ -1,0 +1,191 @@
+// Package monitor implements the paper's hardware ECC monitor (§III-A):
+// a small unit in each cache controller that continuously probes one
+// designated weak cache line and reports its correctable-error rate.
+//
+// The monitor writes a test pattern into the line, reads it back, and
+// counts two things: accesses and ECC-corrected events. Their ratio is
+// the line's error rate at the current effective voltage — a direct,
+// workload-independent measurement of the remaining timing margin. The
+// voltage control system (internal/control) polls these counters to
+// steer the supply.
+//
+// Every cache controller is provisioned with a monitor because the
+// location of the weakest line is unknown at design time; calibration
+// activates only the monitor guarding the weakest line per voltage
+// domain and leaves the rest idle. The targeted line is de-configured
+// from normal allocation, so probing steals only idle cache cycles and
+// one line of capacity.
+//
+// An emergency mechanism backs up the periodic polling: when the
+// observed error rate crosses the emergency ceiling (default 80%), the
+// monitor latches an interrupt that the controller must service with a
+// large voltage increment.
+package monitor
+
+import (
+	"eccspec/internal/cache"
+	"eccspec/internal/ecc"
+	"eccspec/internal/sram"
+)
+
+// DefaultEmergencyCeiling is the error rate that latches the emergency
+// interrupt.
+const DefaultEmergencyCeiling = 0.80
+
+// defaultPatterns are the march-style test patterns the monitor rotates
+// through; alternating and solid patterns exercise both cell polarities.
+var defaultPatterns = []uint64{
+	0x5555555555555555,
+	0xAAAAAAAAAAAAAAAA,
+	0x0000000000000000,
+	0xFFFFFFFFFFFFFFFF,
+}
+
+// Config tunes a monitor.
+type Config struct {
+	// EmergencyCeiling is the error rate that latches the emergency
+	// interrupt; <= 0 selects DefaultEmergencyCeiling.
+	EmergencyCeiling float64
+	// MinAccessesForEmergency avoids declaring an emergency from a
+	// couple of unlucky reads; the rate check arms only after this many
+	// accesses since the last counter reset.
+	MinAccessesForEmergency uint64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.EmergencyCeiling <= 0 {
+		c.EmergencyCeiling = DefaultEmergencyCeiling
+	}
+	if c.MinAccessesForEmergency == 0 {
+		c.MinAccessesForEmergency = 20
+	}
+	return c
+}
+
+// Monitor is one cache controller's ECC monitor.
+type Monitor struct {
+	cfg   Config
+	cache *cache.Cache
+	// Target line; valid only while active.
+	set, way int
+	active   bool
+
+	accesses  uint64
+	errors    uint64
+	emergency bool
+	pattern   int
+}
+
+// New provisions a monitor on a cache controller, initially inactive.
+func New(c *cache.Cache, cfg Config) *Monitor {
+	return &Monitor{cfg: cfg.withDefaults(), cache: c}
+}
+
+// Cache returns the cache this monitor is attached to.
+func (m *Monitor) Cache() *cache.Cache { return m.cache }
+
+// Active reports whether the monitor is probing a line.
+func (m *Monitor) Active() bool { return m.active }
+
+// Target returns the probed line's coordinates (valid while active).
+func (m *Monitor) Target() (set, way int) { return m.set, m.way }
+
+// Activate points the monitor at a line and removes that line from
+// normal cache allocation. Counters reset.
+func (m *Monitor) Activate(set, way int) {
+	if m.active {
+		m.Deactivate()
+	}
+	m.set, m.way = set, way
+	m.cache.DisableLine(set, way)
+	m.active = true
+	m.ResetCounters()
+}
+
+// Deactivate stops probing and returns the line to service.
+func (m *Monitor) Deactivate() {
+	if !m.active {
+		return
+	}
+	m.cache.EnableLine(m.set, m.way)
+	m.active = false
+	m.ResetCounters()
+}
+
+// Probe performs one self-test cycle at effective voltage v: write the
+// next test pattern into the target line, read it back, update counters.
+// It returns true when the read raised any ECC event. Probe panics if
+// the monitor is inactive — activation is a calibration-time invariant.
+func (m *Monitor) Probe(v float64) bool {
+	if !m.active {
+		panic("monitor: probe while inactive")
+	}
+	var data [sram.WordsPerLine]uint64
+	p := defaultPatterns[m.pattern]
+	m.pattern = (m.pattern + 1) % len(defaultPatterns)
+	for i := range data {
+		data[i] = p
+	}
+	m.cache.WriteLine(m.set, m.way, data)
+	res := m.cache.ReadLine(m.set, m.way, v)
+	m.accesses++
+	hit := false
+	for _, ev := range res.Events {
+		if ev.Status == ecc.Corrected || ev.Status == ecc.Uncorrectable {
+			hit = true
+		}
+		// An uncorrectable on the dedicated test line is not fatal to
+		// the program (the line holds no architectural data) but is an
+		// immediate emergency signal.
+		if ev.Status == ecc.Uncorrectable {
+			m.emergency = true
+		}
+	}
+	if hit {
+		m.errors++
+	}
+	if m.accesses >= m.cfg.MinAccessesForEmergency &&
+		m.ErrorRate() >= m.cfg.EmergencyCeiling {
+		m.emergency = true
+	}
+	return hit
+}
+
+// ProbeN performs n probe cycles and returns the number that raised
+// events.
+func (m *Monitor) ProbeN(n int, v float64) int {
+	hits := 0
+	for i := 0; i < n; i++ {
+		if m.Probe(v) {
+			hits++
+		}
+	}
+	return hits
+}
+
+// Counters returns the access and error counts since the last reset.
+func (m *Monitor) Counters() (accesses, errors uint64) {
+	return m.accesses, m.errors
+}
+
+// ErrorRate returns errors/accesses (0 before any access).
+func (m *Monitor) ErrorRate() float64 {
+	if m.accesses == 0 {
+		return 0
+	}
+	return float64(m.errors) / float64(m.accesses)
+}
+
+// ResetCounters clears the counters (the controller does this after each
+// reading, per §III-A).
+func (m *Monitor) ResetCounters() {
+	m.accesses, m.errors = 0, 0
+}
+
+// TakeEmergency returns and clears the latched emergency interrupt.
+func (m *Monitor) TakeEmergency() bool {
+	e := m.emergency
+	m.emergency = false
+	return e
+}

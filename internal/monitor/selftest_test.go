@@ -1,0 +1,139 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"eccspec/internal/cache"
+	"eccspec/internal/variation"
+)
+
+// testSelfTestHierarchy builds a small hierarchy and locates the weakest
+// L2D line.
+func testSelfTestHierarchy(seed uint64) (*cache.Hierarchy, int, int, float64) {
+	m := variation.New(seed, variation.LowVoltage())
+	cfg := cache.HierarchyConfig{
+		L1I:        cache.Config{Name: "L1I", Kind: variation.KindL1I, Sets: 8, Ways: 4, HitLatency: 1},
+		L1D:        cache.Config{Name: "L1D", Kind: variation.KindL1D, Sets: 8, Ways: 4, HitLatency: 1},
+		L2I:        cache.Config{Name: "L2I", Kind: variation.KindL2I, Sets: 64, Ways: 8, HitLatency: 9},
+		L2D:        cache.Config{Name: "L2D", Kind: variation.KindL2D, Sets: 32, Ways: 8, HitLatency: 9},
+		MemLatency: 100,
+	}
+	h := cache.NewHierarchy(cfg, 0, m, nil)
+	set, way, p := h.L2D.Array().WeakestLine()
+	return h, set, way, p.Vmax()
+}
+
+func TestSelfTestLifecycle(t *testing.T) {
+	h, set, way, _ := testSelfTestHierarchy(1)
+	st := NewFirmwareSelfTest(h, true, Config{})
+	if st.Active() {
+		t.Fatal("active before Activate")
+	}
+	st.Activate(set, way)
+	if !st.Active() {
+		t.Fatal("inactive after Activate")
+	}
+	gs, gw := st.Target()
+	if gs != set || gw != way {
+		t.Fatalf("target (%d,%d), want (%d,%d)", gs, gw, set, way)
+	}
+	// The firmware approximation cannot de-configure the line.
+	if h.L2D.LineDisabled(set, way) {
+		t.Fatal("firmware self-test must not de-configure the line")
+	}
+	st.Deactivate()
+	if st.Active() {
+		t.Fatal("still active after Deactivate")
+	}
+}
+
+func TestSelfTestProbePanicsInactive(t *testing.T) {
+	h, _, _, _ := testSelfTestHierarchy(2)
+	st := NewFirmwareSelfTest(h, true, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	st.Probe(0.8)
+}
+
+func TestSelfTestCleanAtSafeVoltage(t *testing.T) {
+	h, set, way, _ := testSelfTestHierarchy(3)
+	st := NewFirmwareSelfTest(h, true, Config{})
+	st.Activate(set, way)
+	if hits := st.ProbeN(100, 0.95); hits != 0 {
+		t.Fatalf("%d hits at safe voltage", hits)
+	}
+	acc, errs := st.Counters()
+	if acc != 100 || errs != 0 {
+		t.Fatalf("counters %d/%d", errs, acc)
+	}
+}
+
+func TestSelfTestMatchesHardwareMonitorRate(t *testing.T) {
+	// At the weak line's onset voltage the firmware self-test must
+	// measure the same error rate as the privileged hardware monitor —
+	// this equivalence is what justified the paper's methodology.
+	h, set, way, vmax := testSelfTestHierarchy(5)
+	st := NewFirmwareSelfTest(h, true, Config{EmergencyCeiling: 0.999})
+	st.Activate(set, way)
+	st.ProbeN(1500, vmax)
+	fwRate := st.ErrorRate()
+
+	h2, set2, way2, vmax2 := testSelfTestHierarchy(5)
+	mon := New(h2.L2D, Config{EmergencyCeiling: 0.999})
+	mon.Activate(set2, way2)
+	mon.ProbeN(1500, vmax2)
+	hwRate := mon.ErrorRate()
+
+	if math.Abs(fwRate-hwRate) > 0.08 {
+		t.Fatalf("rates diverge: firmware %.3f vs hardware %.3f", fwRate, hwRate)
+	}
+	if fwRate < 0.2 {
+		t.Fatalf("firmware self-test missed the weak line: rate %.3f", fwRate)
+	}
+}
+
+func TestSelfTestAccumulatesOverhead(t *testing.T) {
+	h, set, way, _ := testSelfTestHierarchy(7)
+	st := NewFirmwareSelfTest(h, true, Config{})
+	st.Activate(set, way)
+	st.ProbeN(50, 0.9)
+	c1 := st.TakeOverheadSeconds()
+	if c1 <= 0 {
+		t.Fatal("no overhead accumulated")
+	}
+	if c2 := st.TakeOverheadSeconds(); c2 != 0 {
+		t.Fatalf("overhead not cleared: %v", c2)
+	}
+	st.ProbeN(100, 0.9)
+	if c3 := st.TakeOverheadSeconds(); math.Abs(c3-2*c1) > 1e-12 {
+		t.Fatalf("overhead not linear in probes: %v vs %v", c3, 2*c1)
+	}
+}
+
+func TestSelfTestEmergencyDeepBelowOnset(t *testing.T) {
+	h, set, way, vmax := testSelfTestHierarchy(9)
+	st := NewFirmwareSelfTest(h, true, Config{EmergencyCeiling: 0.5, MinAccessesForEmergency: 10})
+	st.Activate(set, way)
+	st.ProbeN(40, vmax-0.08)
+	if !st.TakeEmergency() {
+		t.Fatal("no emergency at ~100% error rate")
+	}
+	if st.TakeEmergency() {
+		t.Fatal("latch not cleared")
+	}
+}
+
+func TestSelfTestInstructionSide(t *testing.T) {
+	h, _, _, _ := testSelfTestHierarchy(11)
+	set, way, p := h.L2I.Array().WeakestLine()
+	st := NewFirmwareSelfTest(h, false, Config{EmergencyCeiling: 0.999})
+	st.Activate(set, way)
+	st.ProbeN(600, p.Vmax())
+	if st.ErrorRate() < 0.2 {
+		t.Fatalf("instruction-side self-test rate %.3f too low", st.ErrorRate())
+	}
+}

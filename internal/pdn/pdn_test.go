@@ -1,0 +1,173 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testRail() *Rail {
+	return NewRail("dom0", 42, 0, DefaultParams(0.800))
+}
+
+func TestNewRailStartsAtNominal(t *testing.T) {
+	r := testRail()
+	if r.Target() != 0.800 {
+		t.Fatalf("target %v", r.Target())
+	}
+	if r.Name() != "dom0" {
+		t.Fatalf("name %q", r.Name())
+	}
+}
+
+func TestSetTargetSnapsToGrid(t *testing.T) {
+	r := testRail()
+	got := r.SetTarget(0.7532)
+	if math.Abs(got-0.755) > 1e-12 {
+		t.Fatalf("snapped to %v, want 0.755", got)
+	}
+}
+
+func TestSetTargetClamps(t *testing.T) {
+	r := testRail()
+	if got := r.SetTarget(0.1); got != r.Params().VMin {
+		t.Fatalf("low clamp: %v", got)
+	}
+	if got := r.SetTarget(5.0); got != r.Params().VMax {
+		t.Fatalf("high clamp: %v", got)
+	}
+}
+
+func TestStepUpDown(t *testing.T) {
+	r := testRail()
+	v0 := r.Target()
+	r.StepDown(2)
+	if math.Abs(r.Target()-(v0-0.010)) > 1e-12 {
+		t.Fatalf("after 2 down: %v", r.Target())
+	}
+	r.StepUp(1)
+	if math.Abs(r.Target()-(v0-0.005)) > 1e-12 {
+		t.Fatalf("after 1 up: %v", r.Target())
+	}
+}
+
+func TestResonanceWithinSpread(t *testing.T) {
+	p := DefaultParams(0.800)
+	for id := 0; id < 32; id++ {
+		r := NewRail("x", 7, id, p)
+		rel := r.Resonance()/p.FRes - 1
+		if math.Abs(rel) > p.FResSpread {
+			t.Fatalf("rail %d resonance %.1f MHz outside spread", id, r.Resonance()/1e6)
+		}
+	}
+}
+
+func TestResonanceVariesAcrossRails(t *testing.T) {
+	a := NewRail("a", 7, 0, DefaultParams(0.8))
+	b := NewRail("b", 7, 1, DefaultParams(0.8))
+	if a.Resonance() == b.Resonance() {
+		t.Fatal("rails share identical resonance")
+	}
+}
+
+func TestImpedancePeaksAtResonance(t *testing.T) {
+	r := testRail()
+	f0 := r.Resonance()
+	zPeak := r.Impedance(f0)
+	if math.Abs(zPeak-r.Params().RRes) > 1e-12 {
+		t.Fatalf("peak impedance %v, want RRes %v", zPeak, r.Params().RRes)
+	}
+	for _, mult := range []float64{0.2, 0.5, 2, 5} {
+		if z := r.Impedance(f0 * mult); z >= zPeak {
+			t.Fatalf("impedance at %.2f*f0 (%v) not below peak (%v)", mult, z, zPeak)
+		}
+	}
+	if r.Impedance(0) != 0 {
+		t.Fatal("impedance at DC should be 0 (handled via RStatic)")
+	}
+}
+
+func TestDroopStaticComponent(t *testing.T) {
+	r := testRail()
+	l := Load{MeanCurrent: 10}
+	want := r.Params().RStatic * 10
+	if d := r.Droop(l); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("droop %v, want %v", d, want)
+	}
+}
+
+func TestDroopResonantComponentDominatesAtF0(t *testing.T) {
+	r := testRail()
+	steady := Load{MeanCurrent: 10}
+	resonant := Load{MeanCurrent: 5, OscAmplitude: 3, OscFreqHz: r.Resonance()}
+	if r.Droop(resonant) <= r.Droop(steady) {
+		t.Fatalf("resonant load droop %v not above steadier high-current load %v",
+			r.Droop(resonant), r.Droop(steady))
+	}
+}
+
+func TestEffectiveVoltage(t *testing.T) {
+	r := testRail()
+	l := Load{MeanCurrent: 8}
+	want := r.Target() - r.Droop(l)
+	if v := r.Effective(l); math.Abs(v-want) > 1e-12 {
+		t.Fatalf("effective %v, want %v", v, want)
+	}
+}
+
+func TestLoadAddSumsMeanCurrent(t *testing.T) {
+	p := DefaultParams(0.8)
+	a := Load{MeanCurrent: 3}
+	b := Load{MeanCurrent: 4}
+	if sum := a.Add(b, p); sum.MeanCurrent != 7 {
+		t.Fatalf("sum current %v", sum.MeanCurrent)
+	}
+}
+
+func TestLoadAddKeepsWorstOscillation(t *testing.T) {
+	p := DefaultParams(0.8)
+	atRes := Load{OscAmplitude: 1, OscFreqHz: p.FRes}
+	offRes := Load{OscAmplitude: 1.5, OscFreqHz: p.FRes * 10}
+	sum := atRes.Add(offRes, p)
+	if sum.OscFreqHz != p.FRes {
+		t.Fatalf("kept off-resonance component: %+v", sum)
+	}
+	// Symmetric order.
+	sum = offRes.Add(atRes, p)
+	if sum.OscFreqHz != p.FRes {
+		t.Fatalf("order-dependent result: %+v", sum)
+	}
+}
+
+func TestQuickDroopNonNegative(t *testing.T) {
+	r := testRail()
+	f := func(mean, amp, freq float64) bool {
+		l := Load{MeanCurrent: math.Abs(mean), OscAmplitude: math.Abs(amp),
+			OscFreqHz: math.Abs(freq)}
+		d := r.Droop(l)
+		return d >= 0 && !math.IsNaN(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetTargetAlwaysInRange(t *testing.T) {
+	r := testRail()
+	p := r.Params()
+	f := func(v float64) bool {
+		got := r.SetTarget(v)
+		return got >= p.VMin-1e-12 && got <= p.VMax+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDroop(b *testing.B) {
+	r := testRail()
+	l := Load{MeanCurrent: 8, OscAmplitude: 2, OscFreqHz: 90e6}
+	for i := 0; i < b.N; i++ {
+		r.Droop(l)
+	}
+}

@@ -1,0 +1,92 @@
+package pdn
+
+import "math"
+
+// Transient is a time-domain model of the rail's resonant loop: a series
+// RLC network between the regulator and the load, integrated with a
+// fixed sub-tick step. The control-loop simulation uses the analytic
+// impedance (Rail.Droop) because it only needs per-tick worst-case
+// numbers; Transient exists to validate that shortcut — its measured
+// steady-state droop amplitude under a sinusoidal load must match
+// Rail.Impedance at every frequency — and to render step-response
+// ringing for demonstrations.
+//
+// Component values derive from the rail parameters: the network is
+// normalized so its resonant frequency is the rail's FRes, its quality
+// factor Q, and its mid-band impedance RRes.
+type Transient struct {
+	// L and C are the loop inductance and decoupling capacitance.
+	L, C float64
+	// R is the loop's series resistance.
+	R float64
+	// State: capacitor (load-side) voltage deviation and inductor
+	// current.
+	vDev float64
+	iL   float64
+}
+
+// NewTransient builds the time-domain network matching a rail's resonant
+// parameters. For a series RLC driven by load-current steps, the droop
+// seen by the load peaks near f0 = 1/(2*pi*sqrt(LC)) with peak impedance
+// ~ L/(RC) and quality factor Q = sqrt(L/C)/R.
+func NewTransient(r *Rail) *Transient {
+	f0 := r.Resonance()
+	q := r.p.Q
+	zPeak := r.p.RRes
+	w0 := 2 * math.Pi * f0
+	// Solve Z0 = sqrt(L/C) from Q and the peak impedance: for a
+	// parallel-resonant tank seen by the load, Zpeak = Q * Z0.
+	z0 := zPeak / q
+	return &Transient{
+		L: z0 / w0,
+		C: 1 / (z0 * w0),
+		R: z0 / q,
+	}
+}
+
+// Step advances the network by dt seconds with the given load current
+// (deviation from the DC operating point) and returns the instantaneous
+// droop at the load, in volts. A standard semi-implicit Euler update
+// keeps the oscillator stable for dt well below the resonant period.
+func (t *Transient) Step(dt, loadCurrent float64) float64 {
+	// The capacitor absorbs the difference between the inductor
+	// current (from the regulator) and the load current.
+	t.vDev += dt * (t.iL - loadCurrent) / t.C
+	// The inductor sees the negative of the deviation minus resistive
+	// loss (the regulator holds its end at the setpoint).
+	t.iL += dt * (-t.vDev - t.R*t.iL) / t.L
+	// Droop is the negative voltage deviation at the load.
+	return -t.vDev
+}
+
+// Reset zeroes the network state.
+func (t *Transient) Reset() {
+	t.vDev, t.iL = 0, 0
+}
+
+// ResonanceHz returns the network's natural frequency.
+func (t *Transient) ResonanceHz() float64 {
+	return 1 / (2 * math.Pi * math.Sqrt(t.L*t.C))
+}
+
+// MeasureAmplitude drives the network with a sinusoidal load of the
+// given amplitude and frequency for enough cycles to reach steady state
+// and returns the peak droop amplitude observed in the final cycles —
+// the time-domain equivalent of |Z(f)| * amplitude.
+func (t *Transient) MeasureAmplitude(freqHz, amp float64) float64 {
+	t.Reset()
+	period := 1 / freqHz
+	dt := period / 256
+	// Settle for many cycles, then record.
+	settle := int(40 * 256)
+	record := int(10 * 256)
+	peak := 0.0
+	for i := 0; i < settle+record; i++ {
+		tt := float64(i) * dt
+		d := t.Step(dt, amp*math.Sin(2*math.Pi*freqHz*tt))
+		if i >= settle && math.Abs(d) > peak {
+			peak = math.Abs(d)
+		}
+	}
+	return peak
+}

@@ -1,0 +1,180 @@
+// Package plot renders time series as ASCII line charts for the
+// eccspec CLI, so the paper's trace figures (voltage and error rate over
+// time, error probability over voltage) can be eyeballed straight from
+// a terminal.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// markers are cycled per series.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Chart configures a rendering.
+type Chart struct {
+	// Title is printed above the plot.
+	Title string
+	// Width and Height are the plot area dimensions in characters
+	// (defaults 64x16).
+	Width, Height int
+	// YLabel annotates the vertical axis.
+	YLabel string
+	// XLabel annotates the horizontal axis.
+	XLabel string
+}
+
+// withDefaults fills zero fields.
+func (c Chart) withDefaults() Chart {
+	if c.Width <= 0 {
+		c.Width = 64
+	}
+	if c.Height <= 0 {
+		c.Height = 16
+	}
+	if c.Width < 8 {
+		c.Width = 8
+	}
+	if c.Height < 4 {
+		c.Height = 4
+	}
+	return c
+}
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Render draws the chart to w. Series may have different X grids; the
+// chart spans the union of their ranges. Empty input renders a note
+// instead of axes.
+func (c Chart) Render(w io.Writer, series ...Series) error {
+	c = c.withDefaults()
+	var xs, ys []float64
+	for _, s := range series {
+		xs = append(xs, s.X...)
+		ys = append(ys, s.Y...)
+	}
+	if len(xs) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n  (no data)\n", c.Title)
+		return err
+	}
+	xMin, xMax := minMax(xs)
+	yMin, yMax := minMax(ys)
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// A little vertical headroom keeps curves off the frame.
+	pad := (yMax - yMin) * 0.05
+	yMin -= pad
+	yMax += pad
+
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			col := int(float64(c.Width-1) * (s.X[i] - xMin) / (xMax - xMin))
+			row := int(float64(c.Height-1) * (yMax - s.Y[i]) / (yMax - yMin))
+			if col >= 0 && col < c.Width && row >= 0 && row < c.Height {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintln(w, c.Title); err != nil {
+			return err
+		}
+	}
+	if len(series) > 1 || series[0].Name != "" {
+		var legend []string
+		for si, s := range series {
+			name := s.Name
+			if name == "" {
+				name = fmt.Sprintf("series %d", si)
+			}
+			legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], name))
+		}
+		if _, err := fmt.Fprintf(w, "  [%s]\n", strings.Join(legend, "   ")); err != nil {
+			return err
+		}
+	}
+	labelW := 10
+	for r, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, trim(yMax))
+		case c.Height - 1:
+			label = fmt.Sprintf("%*s", labelW, trim(yMin))
+		case c.Height / 2:
+			mid := (yMax + yMin) / 2
+			if c.YLabel != "" {
+				label = fmt.Sprintf("%*s", labelW, c.YLabel)
+				_ = mid
+			} else {
+				label = fmt.Sprintf("%*s", labelW, trim(mid))
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	xl := trim(xMin)
+	xr := trim(xMax)
+	gapLen := c.Width - len(xl) - len(xr)
+	if gapLen < 1 {
+		gapLen = 1
+	}
+	gap := strings.Repeat(" ", gapLen)
+	if _, err := fmt.Fprintf(w, "%s  %s%s%s", strings.Repeat(" ", labelW), xl, gap, xr); err != nil {
+		return err
+	}
+	if c.XLabel != "" {
+		if _, err := fmt.Fprintf(w, "  (%s)", c.XLabel); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// trim formats a float compactly.
+func trim(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01 || av == 0:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,157 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicShape(t *testing.T) {
+	var sb strings.Builder
+	c := Chart{Title: "ramp", Width: 20, Height: 6}
+	err := c.Render(&sb, Series{Name: "line", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ramp") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("marker missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + legend + 6 rows + x axis
+	if len(lines) != 9 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderRisingLineOrientation(t *testing.T) {
+	var sb strings.Builder
+	c := Chart{Width: 30, Height: 10}
+	err := c.Render(&sb, Series{X: []float64{0, 1}, Y: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	// Find marker positions: high Y must be in an earlier (upper) row
+	// and later column than low Y.
+	var firstRow, firstCol, lastRow, lastCol int = -1, -1, -1, -1
+	for r, row := range rows {
+		for col, ch := range row {
+			if ch == '*' {
+				if firstRow == -1 {
+					firstRow, firstCol = r, col
+				}
+				lastRow, lastCol = r, col
+			}
+		}
+	}
+	if firstRow == -1 {
+		t.Fatal("no markers")
+	}
+	if !(firstRow < lastRow) || !(firstCol > lastCol) {
+		t.Fatalf("orientation wrong: first (%d,%d) last (%d,%d)\n%s",
+			firstRow, firstCol, lastRow, lastCol, sb.String())
+	}
+}
+
+func TestRenderMultiSeriesLegend(t *testing.T) {
+	var sb strings.Builder
+	c := Chart{Width: 20, Height: 5}
+	err := c.Render(&sb,
+		Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 0}},
+		Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+") {
+		t.Error("second marker missing")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := (Chart{Title: "t"}).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatalf("empty chart output %q", sb.String())
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var sb strings.Builder
+	c := Chart{Width: 16, Height: 5}
+	err := c.Render(&sb, Series{X: []float64{5, 5, 5}, Y: []float64{2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatal("constant series not plotted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := Chart{}.withDefaults()
+	if c.Width != 64 || c.Height != 16 {
+		t.Fatalf("defaults %dx%d", c.Width, c.Height)
+	}
+	tiny := Chart{Width: 2, Height: 1}.withDefaults()
+	if tiny.Width < 8 || tiny.Height < 4 {
+		t.Fatalf("minimums not enforced: %dx%d", tiny.Width, tiny.Height)
+	}
+}
+
+func TestTrimFormats(t *testing.T) {
+	cases := map[float64]string{
+		1234:   "1234",
+		12.34:  "12.3",
+		0.6789: "0.679",
+		0:      "0.000",
+	}
+	for v, want := range cases {
+		if got := trim(v); got != want {
+			t.Errorf("trim(%v) = %q want %q", v, got, want)
+		}
+	}
+}
+
+func TestRenderYLabel(t *testing.T) {
+	var sb strings.Builder
+	c := Chart{Width: 20, Height: 7, YLabel: "V", XLabel: "time"}
+	if err := c.Render(&sb, Series{X: []float64{0, 1}, Y: []float64{0.6, 0.7}}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "V |") {
+		t.Fatalf("y label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(time)") {
+		t.Fatalf("x label missing:\n%s", out)
+	}
+}
+
+func TestRenderManySeriesCyclesMarkers(t *testing.T) {
+	var sb strings.Builder
+	c := Chart{Width: 30, Height: 8}
+	var series []Series
+	for i := 0; i < 7; i++ { // more series than markers
+		series = append(series, Series{
+			Name: string(rune('a' + i)),
+			X:    []float64{0, 1},
+			Y:    []float64{float64(i), float64(i)},
+		})
+	}
+	if err := c.Render(&sb, series...); err != nil {
+		t.Fatal(err)
+	}
+	// The 7th series reuses the first marker.
+	if !strings.Contains(sb.String(), "* g") {
+		t.Fatalf("marker cycling broken:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,168 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDynamicScalesWithVSquared(t *testing.T) {
+	p := DefaultCoreParams()
+	p1 := p.Dynamic(0.800, 340e6, 1)
+	p2 := p.Dynamic(0.400, 340e6, 1)
+	if math.Abs(p1/p2-4) > 1e-9 {
+		t.Fatalf("V^2 scaling broken: ratio %v", p1/p2)
+	}
+}
+
+func TestDynamicLinearInActivityAndFrequency(t *testing.T) {
+	p := DefaultCoreParams()
+	if r := p.Dynamic(0.8, 340e6, 1.0) / p.Dynamic(0.8, 340e6, 0.5); math.Abs(r-2) > 1e-9 {
+		t.Fatalf("activity scaling ratio %v", r)
+	}
+	if r := p.Dynamic(0.8, 680e6, 0.5) / p.Dynamic(0.8, 340e6, 0.5); math.Abs(r-2) > 1e-9 {
+		t.Fatalf("frequency scaling ratio %v", r)
+	}
+}
+
+func TestPaperPowerShape(t *testing.T) {
+	// An 18% Vdd reduction must cut dynamic power by roughly a third
+	// (0.82^2 = 0.6724) — the headline Fig. 10 -> Fig. 11 relationship.
+	p := DefaultCoreParams()
+	base := p.Dynamic(0.800, 340e6, 0.6)
+	reduced := p.Dynamic(0.800*0.82, 340e6, 0.6)
+	saving := 1 - reduced/base
+	if math.Abs(saving-0.3276) > 1e-6 {
+		t.Fatalf("dynamic saving %v, want 0.3276", saving)
+	}
+}
+
+func TestLeakageGrowsWithVoltageAndTemp(t *testing.T) {
+	p := DefaultCoreParams()
+	if p.Leakage(0.9, 40) <= p.Leakage(0.7, 40) {
+		t.Fatal("leakage not increasing in voltage")
+	}
+	if p.Leakage(0.8, 80) <= p.Leakage(0.8, 40) {
+		t.Fatal("leakage not increasing in temperature")
+	}
+}
+
+func TestLeakageReferencePoint(t *testing.T) {
+	p := DefaultCoreParams()
+	want := p.Vref * p.LeakI0
+	if got := p.Leakage(p.Vref, 40); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("leakage at reference %v, want %v", got, want)
+	}
+}
+
+func TestCorePowerPlausibleAtLowPoint(t *testing.T) {
+	// One core at 800 mV / 340 MHz, moderate activity: single-digit
+	// watts, leakage a minority share.
+	p := DefaultCoreParams()
+	dyn := p.Dynamic(0.800, 340e6, 0.6)
+	leak := p.Leakage(0.800, 55)
+	total := dyn + leak
+	if total < 1 || total > 12 {
+		t.Fatalf("core power %v W implausible", total)
+	}
+	if leak > dyn {
+		t.Fatalf("leakage %v exceeds dynamic %v at the low point", leak, dyn)
+	}
+}
+
+func TestTotalIsSum(t *testing.T) {
+	p := DefaultCoreParams()
+	want := p.Dynamic(0.75, 340e6, 0.5) + p.Leakage(0.75, 50)
+	if got := p.Total(0.75, 340e6, 0.5, 50); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("total %v want %v", got, want)
+	}
+}
+
+func TestCurrent(t *testing.T) {
+	p := DefaultCoreParams()
+	watts := p.Total(0.8, 340e6, 0.7, 45)
+	if got := p.Current(0.8, 340e6, 0.7, 45); math.Abs(got-watts/0.8) > 1e-12 {
+		t.Fatalf("current %v", got)
+	}
+	if p.Current(0, 340e6, 0.7, 45) != 0 {
+		t.Fatal("current at V=0 should be 0")
+	}
+}
+
+func TestUncoreBiggerThanCore(t *testing.T) {
+	core, uncore := DefaultCoreParams(), UncoreParams()
+	if uncore.Dynamic(0.8, 340e6, 0.5) <= core.Dynamic(0.8, 340e6, 0.5) {
+		t.Fatal("uncore should draw more than a single core")
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	var m Meter
+	m.Accumulate(10, 2)
+	m.Accumulate(20, 1)
+	if m.Energy() != 40 {
+		t.Fatalf("energy %v", m.Energy())
+	}
+	if m.Seconds() != 3 {
+		t.Fatalf("seconds %v", m.Seconds())
+	}
+	if math.Abs(m.AveragePower()-40.0/3) > 1e-12 {
+		t.Fatalf("average %v", m.AveragePower())
+	}
+	m.Reset()
+	if m.Energy() != 0 || m.Seconds() != 0 || m.AveragePower() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestQuickPowerNonNegative(t *testing.T) {
+	p := DefaultCoreParams()
+	f := func(v, act float64) bool {
+		v = math.Mod(math.Abs(v), 1.3)
+		act = math.Mod(math.Abs(act), 1.0)
+		total := p.Total(v, 340e6, act, 55)
+		return total >= 0 && !math.IsNaN(total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTotal(b *testing.B) {
+	p := DefaultCoreParams()
+	for i := 0; i < b.N; i++ {
+		p.Total(0.75, 340e6, 0.6, 52)
+	}
+}
+
+func TestHighVoltageCorePowerPlausible(t *testing.T) {
+	// ~15 W per core at the nominal point, consistent with a 170 W TDP
+	// across eight cores plus uncore.
+	p := HighVoltageCoreParams()
+	total := p.Total(1.100, 2.53e9, 0.9, 70)
+	if total < 8 || total > 25 {
+		t.Fatalf("high-point core power %v W implausible", total)
+	}
+	u := HighVoltageUncoreParams()
+	if u.Total(1.1, 2.53e9, 0.4, 70) <= total {
+		t.Fatal("uncore should out-draw one core at the high point")
+	}
+}
+
+func TestInterpolateCoreParamsEndpoints(t *testing.T) {
+	lo, hi := DefaultCoreParams(), HighVoltageCoreParams()
+	if got := InterpolateCoreParams(lo, hi, 0); got != lo {
+		t.Fatalf("t=0 not the low anchor: %+v", got)
+	}
+	got := InterpolateCoreParams(lo, hi, 1)
+	if math.Abs(got.CEff-hi.CEff) > 1e-15 || math.Abs(got.LeakI0-hi.LeakI0) > 1e-12 {
+		t.Fatalf("t=1 not the high anchor: %+v", got)
+	}
+	mid := InterpolateCoreParams(lo, hi, 0.5)
+	if mid.CEff <= hi.CEff || mid.CEff >= lo.CEff {
+		t.Fatalf("midpoint CEff %v outside the anchors", mid.CEff)
+	}
+	if mid.Vref != (lo.Vref+hi.Vref)/2 {
+		t.Fatalf("midpoint Vref %v", mid.Vref)
+	}
+}

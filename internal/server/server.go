@@ -1,0 +1,146 @@
+// Package server models the evaluation platform one level above the
+// chip: the HP BL860c-i4 Integrity blade with two Itanium 9560 sockets
+// sharing an enclosure (Table I).
+//
+// The enclosure couples the chips thermally: inlet air plus a term
+// proportional to total blade power, scaled by fan speed. Slowing the
+// fans is exactly how the paper probed temperature sensitivity
+// ("experiments under different temperatures by slowing system
+// enclosure fan speeds", §III-D), so the fan model lets that experiment
+// run at system scope.
+package server
+
+import (
+	"fmt"
+
+	"eccspec/internal/chip"
+	"eccspec/internal/rng"
+)
+
+// Params configures a blade.
+type Params struct {
+	// Seed fixes the blade; each socket's chip derives its own seed
+	// from it (different sockets are different specimens).
+	Seed uint64
+	// Sockets is the processor count (Table I: 2).
+	Sockets int
+	// LowVoltagePoint selects the 340 MHz point (default true mirrors
+	// the evaluation).
+	LowVoltagePoint bool
+	// FullGeometry selects the full Table I cache sizes.
+	FullGeometry bool
+	// InletC is the cold-aisle air temperature.
+	InletC float64
+	// EnclosureRes is the enclosure's thermal resistance at full fan
+	// speed (K per W of blade power).
+	EnclosureRes float64
+	// FanSlowdownFactor is how much EnclosureRes grows at zero fan
+	// speed (linearly interpolated).
+	FanSlowdownFactor float64
+}
+
+// DefaultParams returns a two-socket blade at the low-voltage point.
+func DefaultParams(seed uint64) Params {
+	return Params{
+		Seed:              seed,
+		Sockets:           2,
+		LowVoltagePoint:   true,
+		InletC:            25,
+		EnclosureRes:      0.12,
+		FanSlowdownFactor: 5.0,
+	}
+}
+
+// Server is a running blade.
+type Server struct {
+	P     Params
+	Chips []*chip.Chip
+
+	fanSpeed float64
+}
+
+// New builds the blade: one chip per socket, each with its own derived
+// seed (two sockets never share a weak-cell map).
+func New(p Params) *Server {
+	if p.Sockets <= 0 {
+		panic("server: non-positive socket count")
+	}
+	s := &Server{P: p, fanSpeed: 1.0}
+	for i := 0; i < p.Sockets; i++ {
+		cp := chip.DefaultParams(rng.Hash(p.Seed, 0x50C7, uint64(i)), p.LowVoltagePoint, p.FullGeometry)
+		s.Chips = append(s.Chips, chip.New(cp))
+	}
+	return s
+}
+
+// SetFanSpeed sets the enclosure fan speed in [0, 1]; 1 is full speed.
+func (s *Server) SetFanSpeed(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	s.fanSpeed = f
+}
+
+// FanSpeed returns the current fan speed.
+func (s *Server) FanSpeed() float64 { return s.fanSpeed }
+
+// ambient returns the in-enclosure air temperature for the current
+// blade power and fan speed.
+func (s *Server) ambient(bladePower float64) float64 {
+	res := s.P.EnclosureRes * (1 + (s.P.FanSlowdownFactor-1)*(1-s.fanSpeed))
+	return s.P.InletC + res*bladePower
+}
+
+// Step advances every socket by one control tick and updates the shared
+// thermal environment from the blade's current power draw. It returns
+// the per-socket tick reports.
+func (s *Server) Step() []chip.TickReport {
+	reps := make([]chip.TickReport, len(s.Chips))
+	var power float64
+	for i, c := range s.Chips {
+		reps[i] = c.Step()
+		for _, cr := range reps[i].Cores {
+			power += cr.PowerW
+		}
+		power += c.LastUncoreWatts()
+	}
+	amb := s.ambient(power)
+	for _, c := range s.Chips {
+		c.P.AmbientC = amb
+	}
+	return reps
+}
+
+// TotalPower returns the blade's average power so far (all sockets,
+// cores plus uncore).
+func (s *Server) TotalPower() float64 {
+	t := 0.0
+	for _, c := range s.Chips {
+		if c.Time() > 0 {
+			t += c.TotalEnergy() / c.Time()
+		}
+	}
+	return t
+}
+
+// AliveCores returns the number of functioning cores across sockets.
+func (s *Server) AliveCores() int {
+	n := 0
+	for _, c := range s.Chips {
+		for _, co := range c.Cores {
+			if co.Alive() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// String summarizes the blade.
+func (s *Server) String() string {
+	return fmt.Sprintf("blade seed %d: %d sockets, %d cores alive, fan %.0f%%",
+		s.P.Seed, len(s.Chips), s.AliveCores(), 100*s.fanSpeed)
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"testing"
+
+	"eccspec/internal/workload"
+)
+
+func testServer(seed uint64) *Server {
+	s := New(DefaultParams(seed))
+	for _, c := range s.Chips {
+		for _, co := range c.Cores {
+			co.SetWorkload(workload.SPECjbb()[0], seed)
+		}
+	}
+	return s
+}
+
+func TestNewTopology(t *testing.T) {
+	s := testServer(1)
+	if len(s.Chips) != 2 {
+		t.Fatalf("%d sockets", len(s.Chips))
+	}
+	if s.AliveCores() != 16 {
+		t.Fatalf("%d cores alive", s.AliveCores())
+	}
+	if s.FanSpeed() != 1.0 {
+		t.Fatalf("fan %v", s.FanSpeed())
+	}
+}
+
+func TestNewPanicsOnZeroSockets(t *testing.T) {
+	p := DefaultParams(1)
+	p.Sockets = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(p)
+}
+
+func TestSocketsAreDistinctSpecimens(t *testing.T) {
+	s := testServer(2)
+	a := s.Chips[0].Cores[0].Hier.L2D.Array()
+	b := s.Chips[1].Cores[0].Hier.L2D.Array()
+	sa, wa, pa := a.WeakestLine()
+	sb, wb, pb := b.WeakestLine()
+	if sa == sb && wa == wb && pa.Vmax() == pb.Vmax() {
+		t.Fatal("two sockets share a weak-cell map")
+	}
+}
+
+func TestStepHeatsEnclosureUnderLoad(t *testing.T) {
+	s := testServer(3)
+	for i := 0; i < 200; i++ {
+		s.Step()
+	}
+	after := s.Chips[0].P.AmbientC
+	// The blade burns tens of watts, so enclosure air must sit well
+	// above the cold-aisle inlet.
+	if after <= s.P.InletC+3 {
+		t.Fatalf("enclosure air %v barely above inlet %v", after, s.P.InletC)
+	}
+	if s.Chips[0].P.AmbientC != s.Chips[1].P.AmbientC {
+		t.Fatal("sockets see different enclosure air")
+	}
+	if s.TotalPower() <= 0 {
+		t.Fatal("no blade power accounted")
+	}
+}
+
+func TestFanSlowdownRaisesAmbient(t *testing.T) {
+	fast := testServer(4)
+	slow := testServer(4)
+	slow.SetFanSpeed(0.2)
+	for i := 0; i < 300; i++ {
+		fast.Step()
+		slow.Step()
+	}
+	df := fast.Chips[0].P.AmbientC
+	ds := slow.Chips[0].P.AmbientC
+	if ds <= df+3 {
+		t.Fatalf("slowed fans raised ambient only %v -> %v", df, ds)
+	}
+}
+
+func TestFanSpeedClamped(t *testing.T) {
+	s := testServer(5)
+	s.SetFanSpeed(-1)
+	if s.FanSpeed() != 0 {
+		t.Fatal("negative fan speed not clamped")
+	}
+	s.SetFanSpeed(7)
+	if s.FanSpeed() != 1 {
+		t.Fatal("fan speed above 1 not clamped")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := testServer(6)
+	if got := s.String(); got == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,56 @@
+package sram
+
+import "eccspec/internal/variation"
+
+// SingleErrorProbability returns the probability that one read of the
+// line at voltage v produces at least one correctable (single-bit-per-
+// word) error and no uncorrectable one. For the operating regimes the
+// speculation system targets this is dominated by the line's weakest
+// cell.
+func (a *Array) SingleErrorProbability(set, way int, v float64) float64 {
+	ps, _ := a.ErrorProbabilities(set, way, v)
+	return ps
+}
+
+// UncorrectableProbability returns the probability that one read of the
+// line at voltage v flips two or more bits within a single codeword — a
+// detected-uncorrectable, fatal error. With two profiled cells per word
+// this is exact to the profile's resolution.
+func (a *Array) UncorrectableProbability(set, way int, v float64) float64 {
+	_, pu := a.ErrorProbabilities(set, way, v)
+	return pu
+}
+
+// ErrorProbabilities returns, for one read of the line at voltage v, the
+// probability of a correctable event (at least one flip, but no word
+// with two) and of an uncorrectable event (some word with two flips).
+// One pass, no allocation — this is the hot call of the per-tick
+// statistical workload model.
+func (a *Array) ErrorProbabilities(set, way int, v float64) (pSingle, pUncorrectable float64) {
+	p := a.LineProfile(set, way)
+	vEff := v - a.Model.TempShift(a.tempC)
+	var first, second [WordsPerLine]float64
+	anyClean := 1.0
+	for _, b := range p.Bits {
+		pf := variation.FlipProbability(b.Vcrit, b.Width, vEff)
+		if pf == 0 {
+			continue
+		}
+		anyClean *= 1 - pf
+		w := b.Word()
+		if first[w] == 0 {
+			first[w] = pf
+		} else if second[w] == 0 {
+			second[w] = pf
+		}
+	}
+	uncClean := 1.0
+	for w := 0; w < WordsPerLine; w++ {
+		if second[w] > 0 {
+			uncClean *= 1 - first[w]*second[w]
+		}
+	}
+	pAny := 1 - anyClean
+	pUncorrectable = 1 - uncClean
+	return pAny - pUncorrectable, pUncorrectable
+}

@@ -1,0 +1,286 @@
+// Package sram models the fault behaviour of on-chip SRAM arrays under
+// low-voltage operation.
+//
+// An Array represents one physical structure (e.g. core 3's L2 data
+// cache). Each 64-byte cache line is stored as eight SECDED codewords of
+// 72 bits, so a line spans 576 bit cells. Each cell has a fixed critical
+// voltage from the process-variation model (internal/variation); reading
+// the line at an effective voltage near or below a cell's critical
+// voltage flips that cell's stored bit with a probability that ramps up
+// as the voltage deficit grows.
+//
+// Faults in this model are access faults — timing failures or read
+// disturbs — not retention failures: a line that is merely *holding* data
+// at low voltage does not decay, matching the paper's §V-E experiment
+// (write high, dwell low, read high, observe zero errors).
+//
+// Enumerating 576 cells per read would be wasteful: at operating voltages
+// all but the weakest few cells have flip probabilities that are zero to
+// double precision. Each line therefore carries a lazily-computed profile
+// of its weakest cells — the top two per codeword — which exactly
+// captures both single-bit (correctable) behaviour, governed by the
+// line's weakest cell, and double-bit (uncorrectable) behaviour, governed
+// by the strongest *pair* within one codeword.
+package sram
+
+import (
+	"sort"
+
+	"eccspec/internal/ecc"
+	"eccspec/internal/rng"
+	"eccspec/internal/variation"
+)
+
+// LineBytes is the cache line size in bytes.
+const LineBytes = 64
+
+// WordsPerLine is the number of SECDED codewords per line.
+const WordsPerLine = LineBytes / 8
+
+// BitsPerLine is the number of stored bit cells per line (data + check).
+const BitsPerLine = WordsPerLine * ecc.CodewordBits
+
+// weakBitsPerWord is how many of each codeword's weakest cells the line
+// profile retains. Two per word is exact for single- and double-bit
+// statistics; triple-bit events at operating voltages are negligible
+// because the third-weakest cell of a word sits far down the tail.
+const weakBitsPerWord = 2
+
+// WeakBit describes one vulnerable cell within a line.
+type WeakBit struct {
+	// Pos is the bit position within the line, 0..575. Word index is
+	// Pos / 72; position within the codeword is Pos % 72.
+	Pos int
+	// Vcrit is the cell's critical voltage (aging included), in volts.
+	Vcrit float64
+	// Width is the cell's flip-probability sigmoid width, in volts.
+	Width float64
+}
+
+// Word returns the codeword index (0..7) containing the bit.
+func (b WeakBit) Word() int { return b.Pos / ecc.CodewordBits }
+
+// CodewordPos returns the bit's position within its codeword (0..71).
+func (b WeakBit) CodewordPos() int { return b.Pos % ecc.CodewordBits }
+
+// Profile is a line's cached weak-cell summary, ordered by descending
+// Vcrit (weakest cell first).
+type Profile struct {
+	Bits []WeakBit
+}
+
+// Vmax returns the line's highest critical voltage — the voltage at which
+// this line first begins to produce errors. Returns 0 for an empty
+// profile.
+func (p *Profile) Vmax() float64 {
+	if len(p.Bits) == 0 {
+		return 0
+	}
+	return p.Bits[0].Vcrit
+}
+
+// PairVcrit returns, over all codewords of the line, the best double-flip
+// voltage: the maximum over words of the *second*-weakest cell's Vcrit.
+// Reads at or below this voltage can plausibly flip two bits in one
+// codeword, producing an uncorrectable error. Returns 0 if no word has
+// two profiled cells.
+func (p *Profile) PairVcrit() float64 {
+	second := make(map[int][]float64, WordsPerLine)
+	for _, b := range p.Bits {
+		second[b.Word()] = append(second[b.Word()], b.Vcrit)
+	}
+	best := 0.0
+	for _, vs := range second {
+		if len(vs) >= 2 {
+			sort.Sort(sort.Reverse(sort.Float64Slice(vs)))
+			if vs[1] > best {
+				best = vs[1]
+			}
+		}
+	}
+	return best
+}
+
+// Array is one SRAM structure: a (sets x ways) grid of cache lines with a
+// fixed weak-cell map derived from the chip's variation model.
+type Array struct {
+	Model *variation.Model
+	Core  int
+	Kind  variation.Kind
+	Sets  int
+	Ways  int
+
+	// tempC is the current operating temperature in Celsius. The shift
+	// it induces is uniform across cells, so it is applied at sample
+	// time rather than baked into profiles.
+	tempC float64
+	// ageHours is the accumulated operating age; changing it rebuilds
+	// profiles lazily because aging is per-cell.
+	ageHours float64
+
+	profiles map[int]*Profile
+	stream   *rng.Stream
+}
+
+// NewArray constructs an SRAM array backed by the given variation model.
+func NewArray(m *variation.Model, core int, kind variation.Kind, sets, ways int) *Array {
+	if sets <= 0 || ways <= 0 {
+		panic("sram: non-positive geometry")
+	}
+	return &Array{
+		Model:    m,
+		Core:     core,
+		Kind:     kind,
+		Sets:     sets,
+		Ways:     ways,
+		tempC:    40,
+		profiles: make(map[int]*Profile),
+		stream:   rng.NewStream(m.Seed, 0x5a17, uint64(core), uint64(kind)),
+	}
+}
+
+// Lines returns the total number of lines in the array.
+func (a *Array) Lines() int { return a.Sets * a.Ways }
+
+// SetTemperature sets the operating temperature in Celsius.
+func (a *Array) SetTemperature(c float64) { a.tempC = c }
+
+// Temperature returns the current operating temperature in Celsius.
+func (a *Array) Temperature() float64 { return a.tempC }
+
+// SetAge sets the array's operating age in hours and invalidates cached
+// profiles, because aging drift is per-cell.
+func (a *Array) SetAge(hours float64) {
+	if hours != a.ageHours {
+		a.ageHours = hours
+		a.profiles = make(map[int]*Profile)
+	}
+}
+
+// Age returns the array's operating age in hours.
+func (a *Array) Age() float64 { return a.ageHours }
+
+// lineKey maps (set, way) to the profile cache key.
+func (a *Array) lineKey(set, way int) int { return set*a.Ways + way }
+
+// LineProfile returns the weak-cell profile of a line, computing and
+// caching it on first use. The scan is the expensive step (576 Gaussian
+// draws), so sweeping a whole L2 is O(millions) of draws but each line is
+// only ever scanned once per age epoch.
+func (a *Array) LineProfile(set, way int) *Profile {
+	a.checkCoords(set, way)
+	key := a.lineKey(set, way)
+	if p, ok := a.profiles[key]; ok {
+		return p
+	}
+	p := a.scanLine(set, way)
+	a.profiles[key] = p
+	return p
+}
+
+// scanLine evaluates every cell of a line and keeps the top
+// weakBitsPerWord cells of each codeword. The systematic offset is
+// hoisted out of the loop and sigmoid widths are only drawn for the
+// selected cells, so the scan costs one hashed draw per cell.
+func (a *Array) scanLine(set, way int) *Profile {
+	base := a.Model.P.Kinds[a.Kind].Mu + a.Model.Systematic(a.Core, a.Kind)
+	bitsOut := make([]WeakBit, 0, WordsPerLine*weakBitsPerWord)
+	for w := 0; w < WordsPerLine; w++ {
+		var top [weakBitsPerWord]WeakBit // descending by Vcrit
+		n := 0
+		for cw := 0; cw < ecc.CodewordBits; cw++ {
+			pos := w*ecc.CodewordBits + cw
+			v := base + a.Model.CellRandom(a.Core, a.Kind, set, way, pos)
+			if a.ageHours > 0 {
+				v += a.Model.AgingShift(a.Core, a.Kind, set, way, pos, a.ageHours)
+			}
+			if n == weakBitsPerWord && v <= top[n-1].Vcrit {
+				continue
+			}
+			wb := WeakBit{Pos: pos, Vcrit: v}
+			for i := 0; i < weakBitsPerWord; i++ {
+				if i >= n || wb.Vcrit > top[i].Vcrit {
+					copy(top[i+1:], top[i:weakBitsPerWord-1])
+					top[i] = wb
+					if n < weakBitsPerWord {
+						n++
+					}
+					break
+				}
+			}
+		}
+		bitsOut = append(bitsOut, top[:n]...)
+	}
+	for i := range bitsOut {
+		bitsOut[i].Width = a.Model.CellWidth(a.Core, a.Kind, set, way, bitsOut[i].Pos)
+	}
+	sort.Slice(bitsOut, func(i, j int) bool { return bitsOut[i].Vcrit > bitsOut[j].Vcrit })
+	return &Profile{Bits: bitsOut}
+}
+
+// SampleFlips simulates one read of the line at effective voltage v and
+// returns the positions (0..575) of the bits that flip on this access.
+// The returned slice is nil when nothing flips — the overwhelmingly
+// common case at safe voltages.
+func (a *Array) SampleFlips(set, way int, v float64) []int {
+	p := a.LineProfile(set, way)
+	vEff := v - a.Model.TempShift(a.tempC)
+	var flips []int
+	for _, b := range p.Bits {
+		pf := variation.FlipProbability(b.Vcrit, b.Width, vEff)
+		if pf <= 0 {
+			// Profile is sorted by descending Vcrit: once a cell is
+			// certainly safe, every later cell is safer still only if
+			// widths were equal; widths differ, so keep scanning while
+			// the deficit could matter. A cheap cutoff: cells more
+			// than 10 standard widths above v cannot flip.
+			if b.Vcrit < vEff-10*a.Model.P.WidthMax {
+				break
+			}
+			continue
+		}
+		if a.stream.Bernoulli(pf) {
+			flips = append(flips, b.Pos)
+		}
+	}
+	return flips
+}
+
+// FlipProbability returns the probability that a specific profiled line
+// produces at least one flipped bit on a single read at voltage v. Used
+// for analytic characterization (Fig. 13-style curves) without sampling.
+func (a *Array) FlipProbability(set, way int, v float64) float64 {
+	p := a.LineProfile(set, way)
+	vEff := v - a.Model.TempShift(a.tempC)
+	clean := 1.0
+	for _, b := range p.Bits {
+		clean *= 1 - variation.FlipProbability(b.Vcrit, b.Width, vEff)
+	}
+	return 1 - clean
+}
+
+// WeakestLine scans the whole array and returns the coordinates and
+// profile of the line with the highest Vmax — the line that will report
+// correctable errors at the highest supply voltage. This is what the
+// calibration cache sweep discovers empirically; tests use it as ground
+// truth.
+func (a *Array) WeakestLine() (set, way int, p *Profile) {
+	best := -1.0
+	for s := 0; s < a.Sets; s++ {
+		for w := 0; w < a.Ways; w++ {
+			lp := a.LineProfile(s, w)
+			if lp.Vmax() > best {
+				best = lp.Vmax()
+				set, way, p = s, w, lp
+			}
+		}
+	}
+	return set, way, p
+}
+
+// checkCoords panics on out-of-range line coordinates.
+func (a *Array) checkCoords(set, way int) {
+	if set < 0 || set >= a.Sets || way < 0 || way >= a.Ways {
+		panic("sram: line coordinates out of range")
+	}
+}

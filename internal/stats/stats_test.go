@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"eccspec/internal/rng"
+)
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Mean(xs) != 2.8 {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatalf("min %v max %v", Min(xs), Max(xs))
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 || StdDev(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Fatal("empty-slice results should be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if math.Abs(StdDev(xs)-2) > 1e-12 {
+		t.Fatalf("stddev %v", StdDev(xs))
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single element stddev should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if Percentile(xs, 0) != 1 {
+		t.Fatalf("p0 %v", Percentile(xs, 0))
+	}
+	if Percentile(xs, 100) != 10 {
+		t.Fatalf("p100 %v", Percentile(xs, 100))
+	}
+	if Percentile(xs, 50) != 5 {
+		t.Fatalf("p50 %v", Percentile(xs, 50))
+	}
+	// Must not mutate the input.
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestSamplePoissonMean(t *testing.T) {
+	s := rng.NewStream(1)
+	for _, mean := range []float64{0.5, 5, 80} {
+		const n = 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += SamplePoisson(s, mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("Poisson(%v) sample mean %v", mean, got)
+		}
+	}
+	if SamplePoisson(s, 0) != 0 || SamplePoisson(s, -1) != 0 {
+		t.Fatal("non-positive mean should yield 0")
+	}
+}
+
+func TestSampleBinomialMoments(t *testing.T) {
+	s := rng.NewStream(2)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{10, 0.3},     // exact loop
+		{1000, 0.001}, // Poisson regime
+		{1000, 0.3},   // normal regime
+		{1000, 0.9},   // symmetry + normal
+	}
+	for _, c := range cases {
+		const trials = 20000
+		sum := 0
+		for i := 0; i < trials; i++ {
+			k := SampleBinomial(s, c.n, c.p)
+			if k < 0 || k > c.n {
+				t.Fatalf("Binomial(%d,%v) out of range: %d", c.n, c.p, k)
+			}
+			sum += k
+		}
+		mean := float64(sum) / trials
+		want := float64(c.n) * c.p
+		tol := 0.05*want + 0.1
+		if math.Abs(mean-want) > tol {
+			t.Fatalf("Binomial(%d,%v) mean %v, want %v", c.n, c.p, mean, want)
+		}
+	}
+}
+
+func TestSampleBinomialEdges(t *testing.T) {
+	s := rng.NewStream(3)
+	if SampleBinomial(s, 0, 0.5) != 0 {
+		t.Fatal("n=0")
+	}
+	if SampleBinomial(s, 10, 0) != 0 {
+		t.Fatal("p=0")
+	}
+	if SampleBinomial(s, 10, 1) != 10 {
+		t.Fatal("p=1")
+	}
+}
+
+func TestQuickBinomialInRange(t *testing.T) {
+	s := rng.NewStream(4)
+	f := func(n uint16, praw uint16) bool {
+		n2 := int(n % 2000)
+		p := float64(praw) / 65535
+		k := SampleBinomial(s, n2, p)
+		return k >= 0 && k <= n2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(0.5)
+	h.Add(9.5)
+	h.Add(-3) // clamps to first bin
+	h.Add(42) // clamps to last bin
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.BinCenter(0) != 0.5 {
+		t.Fatalf("bin center %v", h.BinCenter(0))
+	}
+}
+
+func TestHistogramPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func BenchmarkSampleBinomialNormalRegime(b *testing.B) {
+	s := rng.NewStream(5)
+	for i := 0; i < b.N; i++ {
+		SampleBinomial(s, 100000, 0.01)
+	}
+}

@@ -1,0 +1,60 @@
+package variation
+
+import (
+	"fmt"
+	"math"
+)
+
+// PointAt returns variation parameters for an intermediate operating
+// frequency between the two characterized anchors (340 MHz low-voltage
+// and 2.53 GHz nominal), interpolating log-linearly in frequency.
+//
+// The paper characterizes only the two endpoints but notes that a
+// production low-voltage system "would likely run at higher frequencies
+// (500 MHz - 1 GHz) in order to keep performance at reasonable levels"
+// (§II-A). Interpolation captures the first-order physics along that
+// range: as frequency rises, the rated voltage rises, timing margins
+// tighten (mean critical voltages track the nominal), and the
+// delay-to-voltage amplification that widens every distribution near
+// threshold fades out.
+//
+// PointAt panics outside [340 MHz, 2.53 GHz]; the anchors themselves are
+// returned exactly.
+func PointAt(freqHz float64) Params {
+	lo, hi := LowVoltage(), HighVoltage()
+	if freqHz < lo.FrequencyHz || freqHz > hi.FrequencyHz {
+		panic(fmt.Sprintf("variation: frequency %.0f Hz outside characterized range", freqHz))
+	}
+	t := logFrac(freqHz, lo.FrequencyHz, hi.FrequencyHz)
+	p := Params{
+		Name:           fmt.Sprintf("interp-%.0fMHz", freqHz/1e6),
+		FrequencyHz:    freqHz,
+		NominalVdd:     lerp(lo.NominalVdd, hi.NominalVdd, t),
+		SigmaCore:      lerp(lo.SigmaCore, hi.SigmaCore, t),
+		LogicVminMu:    lerp(lo.LogicVminMu, hi.LogicVminMu, t),
+		LogicVminSigma: lerp(lo.LogicVminSigma, hi.LogicVminSigma, t),
+		WidthMin:       lerp(lo.WidthMin, hi.WidthMin, t),
+		WidthMax:       lerp(lo.WidthMax, hi.WidthMax, t),
+		TempCoeff:      lerp(lo.TempCoeff, hi.TempCoeff, t),
+		AgingCoeff:     lerp(lo.AgingCoeff, hi.AgingCoeff, t),
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		p.Kinds[k] = KindParams{
+			Mu:          lerp(lo.Kinds[k].Mu, hi.Kinds[k].Mu, t),
+			SigmaRandom: lerp(lo.Kinds[k].SigmaRandom, hi.Kinds[k].SigmaRandom, t),
+			SigmaStruct: lerp(lo.Kinds[k].SigmaStruct, hi.Kinds[k].SigmaStruct, t),
+		}
+	}
+	return p
+}
+
+// logFrac maps x in [a, b] to [0, 1] on a logarithmic axis.
+func logFrac(x, a, b float64) float64 {
+	// ln(x/a) / ln(b/a) computed via the ratio of ratios; inputs are
+	// validated positive by the caller.
+	return ln(x/a) / ln(b/a)
+}
+
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+func ln(x float64) float64 { return math.Log(x) }

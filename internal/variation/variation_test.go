@@ -1,0 +1,326 @@
+package variation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindL1I:     "L1I",
+		KindL1D:     "L1D",
+		KindL2I:     "L2I",
+		KindL2D:     "L2D",
+		KindL3:      "L3",
+		KindRegFile: "RegFile",
+		KindLogic:   "Logic",
+		Kind(99):    "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind %d: got %q want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestCellVcritDeterministic(t *testing.T) {
+	m := New(42, LowVoltage())
+	a := m.CellVcrit(3, KindL2D, 10, 2, 100)
+	b := m.CellVcrit(3, KindL2D, 10, 2, 100)
+	if a != b {
+		t.Fatalf("CellVcrit not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestCellVcritVariesByCoordinate(t *testing.T) {
+	m := New(42, LowVoltage())
+	base := m.CellVcrit(3, KindL2D, 10, 2, 100)
+	variants := []float64{
+		m.CellVcrit(4, KindL2D, 10, 2, 100),
+		m.CellVcrit(3, KindL2I, 10, 2, 100),
+		m.CellVcrit(3, KindL2D, 11, 2, 100),
+		m.CellVcrit(3, KindL2D, 10, 3, 100),
+		m.CellVcrit(3, KindL2D, 10, 2, 101),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d identical to base Vcrit", i)
+		}
+	}
+}
+
+func TestCellVcritVariesBySeed(t *testing.T) {
+	a := New(1, LowVoltage()).CellVcrit(0, KindL2D, 0, 0, 0)
+	b := New(2, LowVoltage()).CellVcrit(0, KindL2D, 0, 0, 0)
+	if a == b {
+		t.Fatal("different chip seeds gave identical Vcrit")
+	}
+}
+
+func TestCellVcritDistribution(t *testing.T) {
+	m := New(7, LowVoltage())
+	kp := m.P.Kinds[KindL2D]
+	const n = 50000
+	sum, sumsq := 0.0, 0.0
+	for bit := 0; bit < n; bit++ {
+		v := m.CellVcrit(0, KindL2D, bit/512, 0, bit%512)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	// Mean should be Mu + (fixed systematic offsets for core 0), i.e.
+	// within a few systematic sigmas of Mu.
+	if math.Abs(mean-kp.Mu) > 4*(m.P.SigmaCore+kp.SigmaStruct) {
+		t.Errorf("mean Vcrit %v too far from Mu %v", mean, kp.Mu)
+	}
+	// Sample sd should be close to the random component.
+	if math.Abs(sd-kp.SigmaRandom) > 0.15*kp.SigmaRandom {
+		t.Errorf("sd %v too far from SigmaRandom %v", sd, kp.SigmaRandom)
+	}
+}
+
+func TestLowVoltageSpreadWiderThanHigh(t *testing.T) {
+	lo, hi := LowVoltage(), HighVoltage()
+	if lo.Kinds[KindL2D].SigmaRandom <= hi.Kinds[KindL2D].SigmaRandom {
+		t.Error("random spread should widen at low voltage")
+	}
+	if lo.SigmaCore <= 2*hi.SigmaCore {
+		t.Error("core-to-core spread should widen substantially at low voltage")
+	}
+}
+
+func TestL2WeakerThanL1AndL3(t *testing.T) {
+	// The L2s' weak tail must sit above every other structure's, so the
+	// first errors on a core rail always come from the L2 caches
+	// (§II-C). The comparison is on tails (Mu + 5 sigma), not means:
+	// the L3 has a higher mean than its robust-cell peers because the
+	// uncore-speculation extension probes it on its own rail.
+	tail := func(k KindParams) float64 { return k.Mu + 5*k.SigmaRandom }
+	for _, p := range []Params{HighVoltage(), LowVoltage()} {
+		if tail(p.Kinds[KindL2D]) <= tail(p.Kinds[KindL1D]) {
+			t.Errorf("%s: L2D weak tail should exceed L1D's", p.Name)
+		}
+		if tail(p.Kinds[KindL2I]) <= tail(p.Kinds[KindL3]) {
+			t.Errorf("%s: L2I weak tail should exceed L3's", p.Name)
+		}
+	}
+}
+
+func TestLogicVminBelowL2Tail(t *testing.T) {
+	// The ECC early-warning property requires that L2 correctable errors
+	// appear above the logic crash floor: the weak tail of L2 (Mu+4sigma)
+	// must exceed LogicVminMu on average.
+	for _, p := range []Params{HighVoltage(), LowVoltage()} {
+		tail := p.Kinds[KindL2D].Mu + 4*p.Kinds[KindL2D].SigmaRandom
+		if tail <= p.LogicVminMu {
+			t.Errorf("%s: L2 weak tail %.3f not above logic Vmin %.3f",
+				p.Name, tail, p.LogicVminMu)
+		}
+	}
+}
+
+func TestCellWidthBounds(t *testing.T) {
+	m := New(11, LowVoltage())
+	for bit := 0; bit < 10000; bit++ {
+		w := m.CellWidth(1, KindL2I, bit/512, 1, bit%512)
+		if w < m.P.WidthMin || w > m.P.WidthMax {
+			t.Fatalf("width %v outside [%v,%v]", w, m.P.WidthMin, m.P.WidthMax)
+		}
+	}
+}
+
+func TestCoreSystematicStableAcrossPoints(t *testing.T) {
+	// A chip's fast/slow core ordering must persist across operating
+	// points (same normal deviate, scaled differently).
+	hi := New(5, HighVoltage())
+	lo := New(5, LowVoltage())
+	for core := 0; core < 8; core++ {
+		rHi := hi.CoreSystematic(core) / hi.P.SigmaCore
+		rLo := lo.CoreSystematic(core) / lo.P.SigmaCore
+		if math.Abs(rHi-rLo) > 1e-12 {
+			t.Fatalf("core %d systematic deviate changed across points: %v vs %v",
+				core, rHi, rLo)
+		}
+	}
+}
+
+func TestLogicVminVariesPerCore(t *testing.T) {
+	m := New(13, LowVoltage())
+	a := m.LogicVmin(0)
+	b := m.LogicVmin(1)
+	if a == b {
+		t.Fatal("logic Vmin identical across cores")
+	}
+	for core := 0; core < 8; core++ {
+		v := m.LogicVmin(core)
+		if v < 0.5 || v > 0.7 {
+			t.Errorf("low-V logic Vmin %v implausible for core %d", v, core)
+		}
+	}
+}
+
+func TestAgingShiftMonotone(t *testing.T) {
+	m := New(17, LowVoltage())
+	prev := 0.0
+	for _, h := range []float64{0, 10, 100, 1000, 10000} {
+		s := m.AgingShift(2, KindL2D, 5, 1, 99, h)
+		if s < prev {
+			t.Fatalf("aging shift decreased: %v at %vh after %v", s, h, prev)
+		}
+		prev = s
+	}
+}
+
+func TestAgingShiftZeroAtZeroAge(t *testing.T) {
+	m := New(17, LowVoltage())
+	if s := m.AgingShift(0, KindL2D, 0, 0, 0, 0); s != 0 {
+		t.Fatalf("aging shift at age 0: %v", s)
+	}
+}
+
+func TestAgingCanReorderCells(t *testing.T) {
+	// With a per-cell aging coefficient, a cell that starts stronger can
+	// become weaker than another after enough hours. Find such a pair.
+	m := New(19, LowVoltage())
+	const hours = 20000
+	found := false
+	for bit := 0; bit < 2000 && !found; bit++ {
+		v1 := m.CellVcrit(0, KindL2D, 0, 0, bit)
+		v2 := m.CellVcrit(0, KindL2D, 0, 0, bit+2000)
+		a1 := m.AgingShift(0, KindL2D, 0, 0, bit, hours)
+		a2 := m.AgingShift(0, KindL2D, 0, 0, bit+2000, hours)
+		if (v1 < v2) != (v1+a1 < v2+a2) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("aging never reordered any cell pair; recalibration would be pointless")
+	}
+}
+
+func TestTempShiftSmallWithin20C(t *testing.T) {
+	m := New(23, LowVoltage())
+	// Paper: +/-20C produced no measurable change; our shift must stay
+	// below the 5 mV control step.
+	if s := math.Abs(m.TempShift(60)); s >= 0.005 {
+		t.Errorf("temp shift %v at +20C not below control step", s)
+	}
+	if s := math.Abs(m.TempShift(20)); s >= 0.005 {
+		t.Errorf("temp shift %v at -20C not below control step", s)
+	}
+}
+
+func TestFlipProbabilityShape(t *testing.T) {
+	const vcrit, w = 0.650, 0.004
+	if p := FlipProbability(vcrit, w, vcrit); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("P at Vcrit = %v, want 0.5", p)
+	}
+	if p := FlipProbability(vcrit, w, vcrit+0.050); p > 1e-4 {
+		t.Errorf("P 50mV above Vcrit = %v, want ~0", p)
+	}
+	if p := FlipProbability(vcrit, w, vcrit-0.050); p < 1-1e-4 {
+		t.Errorf("P 50mV below Vcrit = %v, want ~1", p)
+	}
+}
+
+func TestFlipProbabilityMonotoneInV(t *testing.T) {
+	const vcrit, w = 0.650, 0.004
+	prev := 1.1
+	for v := 0.5; v <= 0.8; v += 0.001 {
+		p := FlipProbability(vcrit, w, v)
+		if p > prev+1e-12 {
+			t.Fatalf("flip probability not monotone at v=%v", v)
+		}
+		prev = p
+	}
+}
+
+func TestFlipProbabilityZeroWidth(t *testing.T) {
+	if FlipProbability(0.6, 0, 0.59) != 1 {
+		t.Error("zero-width cell below Vcrit should always flip")
+	}
+	if FlipProbability(0.6, 0, 0.61) != 0 {
+		t.Error("zero-width cell above Vcrit should never flip")
+	}
+}
+
+func TestQuickFlipProbabilityInUnitInterval(t *testing.T) {
+	f := func(vcrit, w, v float64) bool {
+		p := FlipProbability(math.Abs(vcrit), math.Abs(w), math.Abs(v))
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeakCellTailExists(t *testing.T) {
+	// Scanning a realistic number of L2 cells must surface a weak tail:
+	// some cell whose Vcrit is several sigma above the mean. This is the
+	// raw material for "sensitive lines".
+	m := New(31, LowVoltage())
+	kp := m.P.Kinds[KindL2D]
+	maxV := -1.0
+	const cells = 200000
+	for i := 0; i < cells; i++ {
+		v := m.CellVcrit(0, KindL2D, i/512, 0, i%512)
+		if v > maxV {
+			maxV = v
+		}
+	}
+	// The expected max of 200k normals is ~4.4 sigma above the core's
+	// mean, but the core systematic offset can pull the whole array down
+	// by a sigma or more, so test against a 3 sigma tail.
+	if maxV < kp.Mu+3.0*kp.SigmaRandom {
+		t.Errorf("no weak tail found: max Vcrit %v, Mu %v", maxV, kp.Mu)
+	}
+}
+
+func BenchmarkCellVcrit(b *testing.B) {
+	m := New(42, LowVoltage())
+	for i := 0; i < b.N; i++ {
+		m.CellVcrit(i&7, KindL2D, i&511, i&7, i&575)
+	}
+}
+
+func TestPointAtAnchorsExact(t *testing.T) {
+	lo, hi := LowVoltage(), HighVoltage()
+	pLo := PointAt(lo.FrequencyHz)
+	pHi := PointAt(hi.FrequencyHz)
+	if pLo.NominalVdd != lo.NominalVdd || pHi.NominalVdd != hi.NominalVdd {
+		t.Fatalf("anchor nominal voltages not exact: %v / %v", pLo.NominalVdd, pHi.NominalVdd)
+	}
+	if pLo.Kinds[KindL2D].Mu != lo.Kinds[KindL2D].Mu {
+		t.Fatal("low anchor L2 mean drifted")
+	}
+}
+
+func TestPointAtMonotoneBetweenAnchors(t *testing.T) {
+	prevNom, prevSigma := 0.0, 1.0
+	for _, f := range []float64{340e6, 500e6, 750e6, 1e9, 1.5e9, 2.53e9} {
+		p := PointAt(f)
+		if p.NominalVdd < prevNom {
+			t.Fatalf("nominal voltage not rising with frequency at %.0f MHz", f/1e6)
+		}
+		if p.Kinds[KindL2D].SigmaRandom > prevSigma && f > 340e6 {
+			t.Fatalf("L2 spread should shrink with frequency at %.0f MHz", f/1e6)
+		}
+		prevNom = p.NominalVdd
+		prevSigma = p.Kinds[KindL2D].SigmaRandom
+	}
+}
+
+func TestPointAtPanicsOutsideRange(t *testing.T) {
+	for _, f := range []float64{100e6, 3e9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PointAt(%v) did not panic", f)
+				}
+			}()
+			PointAt(f)
+		}()
+	}
+}

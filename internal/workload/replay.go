@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"eccspec/internal/cache"
+	"eccspec/internal/ecc"
+	"eccspec/internal/rng"
+	"eccspec/internal/stats"
+	"eccspec/internal/variation"
+)
+
+// Replayer executes a workload's cache traffic *functionally*: instead of
+// converting access counts into Poisson-sampled event counts (the fast
+// statistical path the chip simulation uses), it performs every modelled
+// L2 access as a real read of a real line, with fault injection and
+// SECDED decoding on each one.
+//
+// Its purpose is validation: the statistical path is a modelling
+// shortcut, and the Replayer is the ground truth it must agree with.
+// The validate experiment (and TestReplayerMatchesStatisticalModel)
+// compare the two at several voltages.
+type Replayer struct {
+	P     Profile
+	cache *cache.Cache
+	kind  variation.Kind
+	// lines is the workload's resident footprint within this cache.
+	lines  [][2]int
+	stream *rng.Stream
+	rate   float64
+
+	accesses  uint64
+	corrected uint64
+	fatal     bool
+}
+
+// NewReplayer binds a profile's traffic for one structure (KindL2D or
+// KindL2I) to a concrete cache. The footprint — which lines the workload
+// ever touches — uses the same hash as Workload.Exercises, so the
+// statistical and functional paths see the same resident weak lines.
+func NewReplayer(p Profile, c *cache.Cache, kind variation.Kind, seed uint64) *Replayer {
+	w := New(p, seed)
+	rate := p.L2DRate
+	if kind == variation.KindL2I {
+		rate = p.L2IRate
+	}
+	r := &Replayer{
+		P:      p,
+		cache:  c,
+		kind:   kind,
+		stream: rng.NewStream(seed, 0x4EB1, uint64(kind)),
+		rate:   rate,
+	}
+	cfg := c.Config()
+	for set := 0; set < cfg.Sets; set++ {
+		for way := 0; way < cfg.Ways; way++ {
+			if c.LineDisabled(set, way) {
+				continue
+			}
+			if w.Exercises(kind, set, way) {
+				r.lines = append(r.lines, [2]int{set, way})
+				// Park the footprint in the cache so reads are hits.
+				var data [8]uint64
+				for i := range data {
+					data[i] = rng.Hash(seed, uint64(set), uint64(way), uint64(i))
+				}
+				c.WriteLine(set, way, data)
+			}
+		}
+	}
+	return r
+}
+
+// FootprintLines returns the number of resident lines the replayer
+// drives.
+func (r *Replayer) FootprintLines() int { return len(r.lines) }
+
+// Tick replays dt seconds of traffic at effective voltage v: a Poisson
+// number of accesses spread uniformly over the footprint, each performed
+// as a physical line read. It returns the corrected-error events raised
+// this tick.
+func (r *Replayer) Tick(dt, v float64) int {
+	if len(r.lines) == 0 {
+		return 0
+	}
+	mean := r.rate * dt
+	n := stats.SamplePoisson(r.stream, mean)
+	events := 0
+	for i := 0; i < n; i++ {
+		ln := r.lines[r.stream.Intn(len(r.lines))]
+		res := r.cache.ReadLine(ln[0], ln[1], v)
+		r.accesses++
+		for _, ev := range res.Events {
+			if ev.Status == ecc.Corrected {
+				events++
+				r.corrected++
+			}
+		}
+		if res.Fatal {
+			r.fatal = true
+		}
+	}
+	return events
+}
+
+// Counters returns total accesses and corrected events so far.
+func (r *Replayer) Counters() (accesses, corrected uint64) {
+	return r.accesses, r.corrected
+}
+
+// Fatal reports whether any replayed read hit an uncorrectable fault.
+func (r *Replayer) Fatal() bool { return r.fatal }

@@ -1,0 +1,351 @@
+// Package workload models the benchmark applications the paper evaluates
+// (Table II: CoreMark, SPECjbb2005, SPEC CPU2000 int and fp, plus the
+// characterization stress test) as statistical demand generators.
+//
+// The voltage speculation system never inspects instruction semantics; it
+// reacts to what a workload *does* to the chip:
+//
+//   - draw current (activity factor -> power -> PDN droop),
+//   - fluctuate (phase changes and fast oscillation -> voltage noise),
+//   - access the L2 caches (L1 misses -> reads that can trip weak cells),
+//   - cover some footprint of cache lines (which weak lines get
+//     exercised — the property the software-only baseline depends on).
+//
+// A Profile captures those four behaviours per benchmark with
+// representative constants; a Workload instance adds per-run phase and
+// noise state. Special profiles model the paper's measurement tools: the
+// stress kernel (30 s on / 30 s off, §V-D1) and the FMA/NOP voltage virus
+// whose oscillation frequency is set by its NOP count (§IV-B).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"eccspec/internal/rng"
+	"eccspec/internal/variation"
+)
+
+// Profile describes one benchmark's statistical demand.
+type Profile struct {
+	// Name identifies the benchmark ("mcf", "coremark", ...).
+	Name string
+	// Suite is the benchmark's suite label ("SPECint", "CoreMark", ...).
+	Suite string
+	// Activity is the mean activity factor (0..1) in the high phase.
+	Activity float64
+	// ActivityLow is the activity factor in the low phase; equal to
+	// Activity for steady workloads.
+	ActivityLow float64
+	// PhaseSeconds alternates the workload between high and low phases
+	// with this period; 0 means steady.
+	PhaseSeconds float64
+	// OscAmplitude is the fast power-oscillation amplitude, as a
+	// fraction of full activity (drives resonant PDN droop).
+	OscAmplitude float64
+	// OscFreqHz is the dominant fast-oscillation frequency; 0 means
+	// broadband/none.
+	OscFreqHz float64
+	// L2DRate and L2IRate are the rates (per second) of L2 data and
+	// instruction reads that can surface ECC events, in the high phase.
+	// L1 filtering means any *particular* L2 line is re-read far more
+	// rarely than the raw miss rate, and hardware throttles corrected-
+	// error reporting; these constants fold both effects in.
+	L2DRate float64
+	L2IRate float64
+	// L2DCoverage and L2ICoverage are the fractions of L2 lines the
+	// workload's footprint ever touches.
+	L2DCoverage float64
+	L2ICoverage float64
+	// IPC is instructions per cycle, for work/energy accounting.
+	IPC float64
+}
+
+// Demand is one control tick's worth of load.
+type Demand struct {
+	// Activity is the effective activity factor for this tick.
+	Activity float64
+	// OscAmplitude and OscFreqHz describe the fast oscillation.
+	OscAmplitude float64
+	OscFreqHz    float64
+	// L2DAccesses and L2IAccesses are the expected L2 access counts in
+	// this tick.
+	L2DAccesses float64
+	L2IAccesses float64
+	// IPC is the workload's instructions-per-cycle for the tick.
+	IPC float64
+}
+
+// SPECint returns the SPEC CPU2000 integer profiles from Table II.
+func SPECint() []Profile {
+	mk := func(name string, act, l2d, l2i, covD, covI, ipc float64) Profile {
+		return Profile{Name: name, Suite: "SPECint", Activity: act,
+			ActivityLow: act, L2DRate: l2d, L2IRate: l2i,
+			L2DCoverage: covD, L2ICoverage: covI, IPC: ipc,
+			OscAmplitude: 0.05}
+	}
+	return []Profile{
+		mk("gzip", 0.62, 2.1e3, 0.3e3, 0.35, 0.10, 1.1),
+		mk("vpr", 0.58, 3.4e3, 0.5e3, 0.45, 0.14, 0.9),
+		mk("gcc", 0.55, 4.8e3, 2.6e3, 0.60, 0.55, 0.8),
+		mk("mcf", 0.48, 9.5e3, 0.4e3, 0.80, 0.08, 0.4),
+		mk("crafty", 0.70, 1.2e3, 1.8e3, 0.25, 0.45, 1.3),
+		mk("parser", 0.57, 3.9e3, 0.9e3, 0.50, 0.20, 0.9),
+		mk("eon", 0.68, 1.0e3, 1.4e3, 0.22, 0.40, 1.2),
+		mk("perlbmk", 0.63, 2.8e3, 2.2e3, 0.40, 0.50, 1.0),
+		mk("gap", 0.60, 3.1e3, 0.7e3, 0.42, 0.16, 1.0),
+		mk("vortex", 0.64, 3.6e3, 2.4e3, 0.55, 0.52, 1.0),
+		mk("bzip2", 0.61, 2.5e3, 0.3e3, 0.38, 0.09, 1.1),
+		mk("twolf", 0.56, 4.2e3, 0.6e3, 0.48, 0.15, 0.9),
+	}
+}
+
+// SPECfp returns the SPEC CPU2000 floating-point profiles from Table II
+// (the paper could not run wupwise and apsi on its system, so they are
+// absent here too).
+func SPECfp() []Profile {
+	mk := func(name string, act, l2d, l2i, covD, covI, ipc float64) Profile {
+		return Profile{Name: name, Suite: "SPECfp", Activity: act,
+			ActivityLow: act, L2DRate: l2d, L2IRate: l2i,
+			L2DCoverage: covD, L2ICoverage: covI, IPC: ipc,
+			OscAmplitude: 0.08}
+	}
+	return []Profile{
+		mk("swim", 0.66, 8.8e3, 0.2e3, 0.85, 0.06, 0.7),
+		mk("mgrid", 0.69, 6.4e3, 0.2e3, 0.70, 0.05, 0.8),
+		mk("applu", 0.67, 7.2e3, 0.3e3, 0.75, 0.07, 0.8),
+		mk("mesa", 0.72, 2.2e3, 1.2e3, 0.35, 0.30, 1.2),
+		mk("galgel", 0.71, 5.1e3, 0.4e3, 0.60, 0.09, 1.0),
+		mk("art", 0.59, 9.8e3, 0.2e3, 0.82, 0.05, 0.5),
+		mk("equake", 0.62, 7.9e3, 0.3e3, 0.78, 0.07, 0.6),
+		mk("facerec", 0.70, 4.4e3, 0.6e3, 0.55, 0.12, 1.0),
+		mk("ammp", 0.60, 6.8e3, 0.5e3, 0.72, 0.10, 0.7),
+		mk("lucas", 0.68, 5.9e3, 0.2e3, 0.66, 0.05, 0.9),
+		mk("fma3d", 0.71, 4.1e3, 1.0e3, 0.52, 0.25, 1.0),
+		mk("sixtrack", 0.74, 2.9e3, 0.8e3, 0.40, 0.18, 1.2),
+	}
+}
+
+// CoreMark returns the CoreMark profiles: the suite's four kernels,
+// tailored for mobile processors (small footprints, high IPC).
+func CoreMark() []Profile {
+	mk := func(name string, act, l2d, l2i, covD, covI, ipc float64) Profile {
+		return Profile{Name: name, Suite: "CoreMark", Activity: act,
+			ActivityLow: act, L2DRate: l2d, L2IRate: l2i,
+			L2DCoverage: covD, L2ICoverage: covI, IPC: ipc,
+			OscAmplitude: 0.04}
+	}
+	return []Profile{
+		mk("list-processing", 0.67, 1.8e3, 0.2e3, 0.20, 0.05, 1.2),
+		mk("matrix-manipulation", 0.75, 2.4e3, 0.1e3, 0.25, 0.04, 1.4),
+		mk("state-machine", 0.64, 0.9e3, 0.3e3, 0.12, 0.08, 1.1),
+		mk("crc", 0.70, 1.1e3, 0.1e3, 0.10, 0.03, 1.3),
+	}
+}
+
+// SPECjbb returns the SPECjbb2005 profile: eight warehouses per core,
+// with gentle multi-second phase behaviour from garbage collection.
+func SPECjbb() []Profile {
+	return []Profile{{
+		Name: "jbb-8wh", Suite: "SPECjbb2005",
+		Activity: 0.66, ActivityLow: 0.50, PhaseSeconds: 4,
+		OscAmplitude: 0.10,
+		L2DRate:      5.6e3, L2IRate: 3.0e3,
+		L2DCoverage: 0.70, L2ICoverage: 0.60, IPC: 0.9,
+	}}
+}
+
+// StressTest returns the characterization stress application: CPU, cache
+// and memory intensive kernels with near-total cache coverage, used to
+// find minimum safe voltages (§II-A).
+func StressTest() Profile {
+	return Profile{
+		Name: "stress-test", Suite: "Stress",
+		Activity: 0.90, ActivityLow: 0.90,
+		OscAmplitude: 0.12,
+		L2DRate:      1.2e4, L2IRate: 6.0e3,
+		L2DCoverage: 0.98, L2ICoverage: 0.98, IPC: 0.8,
+	}
+}
+
+// StressKernel returns the §V-D1 robustness kernel: 30 seconds of heavy
+// load alternating with 30 seconds of a low-power firmware spin loop.
+func StressKernel() Profile {
+	return Profile{
+		Name: "stress-kernel", Suite: "Stress",
+		Activity: 0.95, ActivityLow: 0.06, PhaseSeconds: 30,
+		OscAmplitude: 0.10,
+		L2DRate:      1.0e4, L2IRate: 4.0e3,
+		L2DCoverage: 0.90, L2ICoverage: 0.80, IPC: 0.8,
+	}
+}
+
+// Idle returns the firmware spin-loop profile used to park auxiliary
+// cores: minimal power, no cache traffic beyond a resident loop.
+func Idle() Profile {
+	return Profile{
+		Name: "idle-spin", Suite: "Idle",
+		Activity: 0.05, ActivityLow: 0.05,
+		L2DRate: 1e3, L2IRate: 1e3,
+		L2DCoverage: 0.002, L2ICoverage: 0.002, IPC: 0.2,
+	}
+}
+
+// VirusFMACount is the number of high-power FMA instructions per virus
+// loop iteration; the NOP count stretches the rest of the period.
+const VirusFMACount = 8
+
+// Virus returns the §IV-B voltage virus with the given NOP count at the
+// given core clock. The loop alternates VirusFMACount FMA instructions
+// with nops NOPs, so its power oscillates at clockHz/(VirusFMACount+nops);
+// around 8 NOPs that lands on the PDN's resonance and produces the
+// worst-case droop (Fig. 15) even though the mean power *falls* with the
+// NOP count.
+func Virus(nops int, clockHz float64) Profile {
+	if nops < 0 {
+		panic("workload: negative NOP count")
+	}
+	period := float64(VirusFMACount + nops)
+	// Mean activity: FMAs at full power, NOPs at ~10%.
+	mean := (float64(VirusFMACount)*1.0 + float64(nops)*0.10) / period
+	return Profile{
+		Name:  fmt.Sprintf("virus-nop%d", nops),
+		Suite: "Virus",
+		// The oscillating component swings between the FMA burst and
+		// the NOP stretch; with no NOPs there is no low phase at all.
+		Activity: mean, ActivityLow: mean,
+		OscAmplitude: oscAmplitude(nops),
+		OscFreqHz:    clockHz / period,
+		L2DRate:      1e4, L2IRate: 1e4,
+		L2DCoverage: 0.01, L2ICoverage: 0.01, IPC: 1.5,
+	}
+}
+
+// oscAmplitude returns the virus's current-swing amplitude: zero without
+// NOPs (constant full power) and approaching the full FMA/NOP contrast as
+// the duty cycle nears 50%.
+func oscAmplitude(nops int) float64 {
+	if nops == 0 {
+		return 0.02 // residual pipeline noise
+	}
+	duty := float64(VirusFMACount) / float64(VirusFMACount+nops)
+	// Fundamental Fourier component of a square wave at this duty cycle.
+	return 0.9 * (2 / math.Pi) * math.Sin(math.Pi*duty)
+}
+
+// Suites returns the benchmark suites used in the evaluation, keyed by
+// suite name, matching Table II.
+func Suites() map[string][]Profile {
+	return map[string][]Profile{
+		"CoreMark":    CoreMark(),
+		"SPECjbb2005": SPECjbb(),
+		"SPECint":     SPECint(),
+		"SPECfp":      SPECfp(),
+	}
+}
+
+// SuiteNames returns the evaluation suite names in the paper's order.
+func SuiteNames() []string {
+	return []string{"CoreMark", "SPECjbb2005", "SPECint", "SPECfp"}
+}
+
+// ByName looks up a profile across all suites plus the special profiles
+// (stress-test, stress-kernel, idle-spin). It returns false if unknown.
+func ByName(name string) (Profile, bool) {
+	for _, ps := range Suites() {
+		for _, p := range ps {
+			if p.Name == name {
+				return p, true
+			}
+		}
+	}
+	for _, p := range []Profile{StressTest(), StressKernel(), Idle()} {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Workload is a running instance of a profile on one core.
+type Workload struct {
+	P       Profile
+	seed    uint64
+	elapsed float64
+	noise   *rng.Stream
+}
+
+// New instantiates a profile. The seed ties the workload's footprint and
+// noise to the run (combine the chip seed and core id).
+func New(p Profile, seed uint64) *Workload {
+	return &Workload{
+		P:     p,
+		seed:  rng.Hash(seed, hashString(p.Name)),
+		noise: rng.NewStream(seed, hashString(p.Name), 0x4057),
+	}
+}
+
+// Elapsed returns the workload's accumulated runtime in seconds.
+func (w *Workload) Elapsed() float64 { return w.elapsed }
+
+// inHighPhase reports whether the workload is in its high-activity phase.
+func (w *Workload) inHighPhase() bool {
+	if w.P.PhaseSeconds <= 0 {
+		return true
+	}
+	return int(w.elapsed/w.P.PhaseSeconds)%2 == 0
+}
+
+// Demand advances the workload by dt seconds and returns the tick's load.
+func (w *Workload) Demand(dt float64) Demand {
+	high := w.inHighPhase()
+	w.elapsed += dt
+	act := w.P.Activity
+	scale := 1.0
+	if !high {
+		act = w.P.ActivityLow
+		if w.P.Activity > 0 {
+			scale = w.P.ActivityLow / w.P.Activity
+		}
+	}
+	// Small multiplicative noise models instruction-mix variation.
+	act *= 1 + 0.04*(2*w.noise.Float64()-1)
+	if act < 0 {
+		act = 0
+	}
+	if act > 1 {
+		act = 1
+	}
+	return Demand{
+		Activity:     act,
+		OscAmplitude: w.P.OscAmplitude,
+		OscFreqHz:    w.P.OscFreqHz,
+		L2DAccesses:  w.P.L2DRate * scale * dt,
+		L2IAccesses:  w.P.L2IRate * scale * dt,
+		IPC:          w.P.IPC,
+	}
+}
+
+// Exercises reports whether this workload's footprint includes the cache
+// line (kind, set, way). The answer is a fixed function of the workload
+// identity and line coordinates, so a given benchmark exercises the same
+// weak lines run after run — the determinism the software baseline (and
+// Fig. 4's per-core error-count spread) relies on.
+func (w *Workload) Exercises(kind variation.Kind, set, way int) bool {
+	cov := w.P.L2DCoverage
+	if kind == variation.KindL2I || kind == variation.KindL1I {
+		cov = w.P.L2ICoverage
+	}
+	u := rng.UniformAt(w.seed, 0xF007, uint64(kind), uint64(set), uint64(way))
+	return u < cov
+}
+
+// hashString folds a string into a uint64 key.
+func hashString(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"eccspec/internal/variation"
+)
+
+func TestTableIIInventory(t *testing.T) {
+	if n := len(SPECint()); n != 12 {
+		t.Errorf("SPECint has %d benchmarks, want 12", n)
+	}
+	if n := len(SPECfp()); n != 12 {
+		t.Errorf("SPECfp has %d benchmarks, want 12", n)
+	}
+	if n := len(CoreMark()); n != 4 {
+		t.Errorf("CoreMark has %d kernels, want 4", n)
+	}
+	if n := len(SPECjbb()); n != 1 {
+		t.Errorf("SPECjbb has %d profiles, want 1", n)
+	}
+	// wupwise and apsi could not run on the paper's system.
+	for _, p := range SPECfp() {
+		if p.Name == "wupwise" || p.Name == "apsi" {
+			t.Errorf("excluded benchmark %s present", p.Name)
+		}
+	}
+}
+
+func TestSuiteNamesMatchSuites(t *testing.T) {
+	suites := Suites()
+	for _, name := range SuiteNames() {
+		if _, ok := suites[name]; !ok {
+			t.Errorf("suite %s missing from Suites()", name)
+		}
+	}
+	if len(SuiteNames()) != len(suites) {
+		t.Error("SuiteNames and Suites disagree on count")
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	var all []Profile
+	for _, ps := range Suites() {
+		all = append(all, ps...)
+	}
+	all = append(all, StressTest(), StressKernel(), Idle(), Virus(8, 340e6))
+	for _, p := range all {
+		if p.Name == "" || p.Suite == "" {
+			t.Errorf("profile missing identity: %+v", p)
+		}
+		if p.Activity <= 0 || p.Activity > 1 {
+			t.Errorf("%s: activity %v out of range", p.Name, p.Activity)
+		}
+		if p.ActivityLow < 0 || p.ActivityLow > p.Activity {
+			t.Errorf("%s: low activity %v above high %v", p.Name, p.ActivityLow, p.Activity)
+		}
+		if p.L2DCoverage < 0 || p.L2DCoverage > 1 || p.L2ICoverage < 0 || p.L2ICoverage > 1 {
+			t.Errorf("%s: coverage out of range", p.Name)
+		}
+		if p.IPC <= 0 {
+			t.Errorf("%s: IPC %v", p.Name, p.IPC)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mcf", "crafty", "swim", "jbb-8wh", "crc",
+		"stress-test", "stress-kernel", "idle-spin"} {
+		p, ok := ByName(name)
+		if !ok || p.Name != name {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName accepted unknown benchmark")
+	}
+}
+
+func TestVirusOscillationFrequency(t *testing.T) {
+	const clock = 340e6
+	for _, nops := range []int{0, 4, 8, 16} {
+		p := Virus(nops, clock)
+		want := clock / float64(VirusFMACount+nops)
+		if math.Abs(p.OscFreqHz-want) > 1e-6 {
+			t.Errorf("virus nop%d: freq %v want %v", nops, p.OscFreqHz, want)
+		}
+	}
+}
+
+func TestVirusMeanPowerFallsWithNops(t *testing.T) {
+	prev := 2.0
+	for _, nops := range []int{0, 2, 4, 8, 12, 20} {
+		p := Virus(nops, 340e6)
+		if p.Activity >= prev {
+			t.Fatalf("virus nop%d activity %v not below previous %v", nops, p.Activity, prev)
+		}
+		prev = p.Activity
+	}
+}
+
+func TestVirusNop0HasNoSwing(t *testing.T) {
+	p0 := Virus(0, 340e6)
+	p8 := Virus(8, 340e6)
+	if p0.OscAmplitude >= p8.OscAmplitude {
+		t.Fatalf("nop0 amplitude %v should be far below nop8 %v",
+			p0.OscAmplitude, p8.OscAmplitude)
+	}
+}
+
+func TestVirusPanicsOnNegativeNops(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Virus(-1, 340e6)
+}
+
+func TestDemandSteadyWorkload(t *testing.T) {
+	w := New(StressTest(), 42)
+	d := w.Demand(0.001)
+	if d.Activity < 0.8 || d.Activity > 1.0 {
+		t.Fatalf("stress activity %v", d.Activity)
+	}
+	if d.L2DAccesses <= 0 || d.L2IAccesses <= 0 {
+		t.Fatal("no cache traffic")
+	}
+	wantD := StressTest().L2DRate * 0.001
+	if math.Abs(d.L2DAccesses-wantD) > 1e-9 {
+		t.Fatalf("L2D accesses %v want %v", d.L2DAccesses, wantD)
+	}
+	if w.Elapsed() != 0.001 {
+		t.Fatalf("elapsed %v", w.Elapsed())
+	}
+}
+
+func TestDemandPhaseAlternation(t *testing.T) {
+	w := New(StressKernel(), 42)
+	// Sample the first high phase and the following low phase.
+	var highAct, lowAct float64
+	for w.Elapsed() < 29 {
+		d := w.Demand(1.0)
+		highAct += d.Activity
+	}
+	highAct /= 29
+	w.Demand(2.0) // cross the boundary
+	for w.Elapsed() < 59 {
+		d := w.Demand(1.0)
+		lowAct += d.Activity
+	}
+	lowAct /= 28
+	if highAct < 5*lowAct {
+		t.Fatalf("phase contrast too small: high %v low %v", highAct, lowAct)
+	}
+}
+
+func TestDemandActivityBounded(t *testing.T) {
+	w := New(StressTest(), 7)
+	for i := 0; i < 10000; i++ {
+		d := w.Demand(0.001)
+		if d.Activity < 0 || d.Activity > 1 {
+			t.Fatalf("activity %v out of bounds", d.Activity)
+		}
+	}
+}
+
+func TestExercisesDeterministic(t *testing.T) {
+	w1 := New(StressTest(), 42)
+	w2 := New(StressTest(), 42)
+	for set := 0; set < 100; set++ {
+		if w1.Exercises(variation.KindL2D, set, 3) != w2.Exercises(variation.KindL2D, set, 3) {
+			t.Fatal("footprint not deterministic")
+		}
+	}
+}
+
+func TestExercisesCoverageRate(t *testing.T) {
+	p := Profile{Name: "halfcov", Suite: "x", Activity: 0.5, ActivityLow: 0.5,
+		L2DCoverage: 0.5, L2ICoverage: 0.1, IPC: 1}
+	w := New(p, 99)
+	hitD, hitI := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if w.Exercises(variation.KindL2D, i/8, i%8) {
+			hitD++
+		}
+		if w.Exercises(variation.KindL2I, i/8, i%8) {
+			hitI++
+		}
+	}
+	if math.Abs(float64(hitD)/n-0.5) > 0.02 {
+		t.Fatalf("L2D coverage rate %v, want ~0.5", float64(hitD)/n)
+	}
+	if math.Abs(float64(hitI)/n-0.1) > 0.02 {
+		t.Fatalf("L2I coverage rate %v, want ~0.1", float64(hitI)/n)
+	}
+}
+
+func TestExercisesDiffersAcrossWorkloads(t *testing.T) {
+	wa := New(StressTest(), 42)
+	wb := New(StressKernel(), 42)
+	diff := 0
+	for set := 0; set < 200; set++ {
+		if wa.Exercises(variation.KindL2D, set, 0) != wb.Exercises(variation.KindL2D, set, 0) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different workloads share identical footprints")
+	}
+}
+
+func TestIdleIsQuiet(t *testing.T) {
+	idle := Idle()
+	if idle.Activity > 0.1 {
+		t.Fatalf("idle activity %v", idle.Activity)
+	}
+	if idle.L2DRate > 1e4 {
+		t.Fatalf("idle cache traffic %v", idle.L2DRate)
+	}
+}
+
+func BenchmarkDemand(b *testing.B) {
+	w := New(StressTest(), 42)
+	for i := 0; i < b.N; i++ {
+		w.Demand(0.001)
+	}
+}
