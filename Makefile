@@ -1,0 +1,24 @@
+# Tier-1 verification plus the concurrency-sensitive targets that the
+# fleet engine and eccspecd daemon make load-bearing.
+
+GO ?= go
+
+.PHONY: verify build test race vet all
+
+all: verify
+
+# Tier-1: the whole tree builds and every test passes.
+verify: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent packages under the race detector.
+race:
+	$(GO) test -race ./internal/fleet/... ./cmd/eccspecd/...
+
+vet:
+	$(GO) vet ./...

@@ -14,25 +14,40 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"syscall"
 
 	"eccspec/internal/experiments"
 	"eccspec/internal/plot"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// A first Ctrl-C stops cleanly between experiments/seeds and prints
+	// the partial results; stop() restores the default handler so a
+	// second Ctrl-C kills a run that is stuck inside one experiment.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "eccspec:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run keeps the context-free entry point used by tests.
+func run(args []string) error { return runCtx(context.Background(), args) }
+
+func runCtx(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("no command")
@@ -44,20 +59,32 @@ func run(args []string) error {
 		}
 		return nil
 	case "run":
-		return runCmd(args[1:])
+		return runCmd(ctx, args[1:])
 	case "seeds":
-		return seedsCmd(args[1:])
+		return seedsCmd(ctx, args[1:])
 	case "report":
-		return reportCmd(args[1:])
+		return reportCmd(ctx, args[1:])
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", args[0])
 	}
 }
 
+// interrupted reports whether the user asked to stop, and says so once
+// on stderr when they did.
+func interrupted(ctx context.Context, what string, done, total int) bool {
+	if ctx.Err() == nil {
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "eccspec: interrupted after %d/%d %s; partial results follow\n", done, total, what)
+	return true
+}
+
 // seedsCmd runs one experiment across many chip seeds and reports the
 // distribution of every metric — the process-variation view of a result.
-func seedsCmd(args []string) error {
+// Ctrl-C stops after the current seed and reports the seeds finished so
+// far.
+func seedsCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("seeds", flag.ContinueOnError)
 	n := fs.Int("n", 8, "number of chip seeds to sample")
 	full := fs.Bool("full", false, "use the full Table I cache geometry")
@@ -80,7 +107,11 @@ func seedsCmd(args []string) error {
 	}
 	agg := map[string][]float64{}
 	var names []string
+	seedsDone := 0
 	for seed := 1; seed <= *n; seed++ {
+		if interrupted(ctx, "seeds", seedsDone, *n) {
+			break
+		}
 		res, err := e.Run(experiments.Options{Seed: uint64(seed), Full: *full, Fast: *fast})
 		if err != nil {
 			return fmt.Errorf("seed %d: %w", seed, err)
@@ -91,10 +122,14 @@ func seedsCmd(args []string) error {
 			}
 			agg[name] = append(agg[name], v)
 		}
+		seedsDone++
 		fmt.Fprintf(os.Stderr, "seed %d/%d done\n", seed, *n)
 	}
+	if seedsDone == 0 {
+		return fmt.Errorf("interrupted before any seed finished")
+	}
 	sort.Strings(names)
-	fmt.Printf("%s across %d chip seeds:\n", ids[0], *n)
+	fmt.Printf("%s across %d chip seeds:\n", ids[0], seedsDone)
 	fmt.Printf("%-28s %12s %12s %12s\n", "metric", "mean", "min", "max")
 	for _, name := range names {
 		vs := agg[name]
@@ -117,7 +152,9 @@ func seedsCmd(args []string) error {
 
 // reportCmd runs every experiment and emits a Markdown summary table —
 // the raw material for refreshing EXPERIMENTS.md after model changes.
-func reportCmd(args []string) error {
+// Ctrl-C stops after the current experiment, leaving a valid partial
+// table.
+func reportCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "chip seed")
 	full := fs.Bool("full", false, "use the full Table I cache geometry")
@@ -128,7 +165,11 @@ func reportCmd(args []string) error {
 	opts := experiments.Options{Seed: *seed, Full: *full, Fast: *fast}
 	fmt.Println("| Id | Paper | Result |")
 	fmt.Println("|---|---|---|")
-	for _, e := range experiments.All() {
+	all := experiments.All()
+	for i, e := range all {
+		if interrupted(ctx, "experiments", i, len(all)) {
+			break
+		}
 		res, err := e.Run(opts)
 		if err != nil {
 			fmt.Printf("| %s | %s | ERROR: %v |\n", e.ID, e.Paper, err)
@@ -139,7 +180,7 @@ func reportCmd(args []string) error {
 	return nil
 }
 
-func runCmd(args []string) error {
+func runCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "chip seed (selects the simulated specimen)")
 	full := fs.Bool("full", false, "use the full Table I cache geometry (slower)")
@@ -170,7 +211,10 @@ func runCmd(args []string) error {
 	}
 
 	opts := experiments.Options{Seed: *seed, Full: *full, Fast: *fast}
-	for _, id := range ids {
+	for done, id := range ids {
+		if interrupted(ctx, "experiments", done, len(ids)) {
+			break
+		}
 		e, ok := experiments.ByID(id)
 		if !ok {
 			return fmt.Errorf("unknown experiment %q", id)

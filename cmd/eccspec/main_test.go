@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -125,6 +126,37 @@ func TestSeedsCommandErrors(t *testing.T) {
 	}
 	if err := run([]string{"seeds", "nope", "-n", "1"}); err == nil {
 		t.Error("seeds with unknown id accepted")
+	}
+}
+
+// TestInterruptedRun simulates Ctrl-C (an already-cancelled context):
+// multi-experiment commands must stop between items with partial
+// output instead of dying, and a seeds sweep that never completed a
+// seed must say so.
+func TestInterruptedRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	out, err := capture(t, func() error {
+		return runCtx(ctx, []string{"report", "-fast"})
+	})
+	if err != nil {
+		t.Fatalf("interrupted report errored: %v", err)
+	}
+	if !strings.Contains(out, "| Id | Paper | Result |") {
+		t.Fatalf("interrupted report lost its header:\n%s", out)
+	}
+
+	if _, err := capture(t, func() error {
+		return runCtx(ctx, []string{"seeds", "tab1", "-n", "2"})
+	}); err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("seeds with no finished seed returned %v", err)
+	}
+
+	if _, err := capture(t, func() error {
+		return runCtx(ctx, []string{"run", "tab1", "-fast"})
+	}); err != nil {
+		t.Fatalf("interrupted run errored: %v", err)
 	}
 }
 

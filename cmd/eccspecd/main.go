@@ -1,0 +1,92 @@
+// Command eccspecd serves fleet simulations over HTTP: a long-running
+// daemon that accepts fleet jobs (many chip specimens under one
+// workload), fans them out across a worker pool, and reports progress,
+// aggregated statistics, per-tick telemetry, and Prometheus metrics.
+//
+// Usage:
+//
+//	eccspecd [-addr host:port] [-workers N] [-queue N] [-drain-timeout D]
+//
+// Endpoints:
+//
+//	POST /v1/fleets               submit a fleet job
+//	GET  /v1/fleets               list jobs
+//	GET  /v1/fleets/{id}          job status and progress
+//	GET  /v1/fleets/{id}/results  aggregated + per-chip results
+//	GET  /v1/fleets/{id}/trace    per-tick telemetry as CSV
+//	GET  /metrics                 Prometheus text format
+//	GET  /healthz                 liveness (reports "draining" during shutdown)
+//
+// On SIGINT/SIGTERM the daemon stops accepting jobs, drains everything
+// already accepted (up to -drain-timeout, then cancels), and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eccspec/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8347", "listen address")
+	workers := flag.Int("workers", 0, "concurrent chip simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 16, "max accepted-but-unstarted fleet jobs")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute,
+		"how long shutdown waits for in-flight jobs before cancelling them")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queue, *drainTimeout); err != nil {
+		log.Fatalf("eccspecd: %v", err)
+	}
+}
+
+func run(addr string, workers, queueDepth int, drainTimeout time.Duration) error {
+	engine := fleet.New(fleet.Config{Workers: workers})
+	s := newServer(engine, queueDepth)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("eccspecd: listening on %s (%d sim workers)", ln.Addr(), engine.Workers())
+
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process outright
+
+	log.Printf("eccspecd: shutdown signal; draining in-flight jobs (timeout %v)", drainTimeout)
+	s.beginDrain()
+	select {
+	case <-s.drained():
+		log.Printf("eccspecd: drained cleanly")
+	case <-time.After(drainTimeout):
+		log.Printf("eccspecd: drain timeout; cancelling in-flight jobs")
+		s.cancelJobs()
+		<-s.drained()
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	return nil
+}

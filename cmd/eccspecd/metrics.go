@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the daemon's monotonic counters. Queue-state gauges
+// are read off the job table at scrape time; only the counters that
+// must survive job deletion live here.
+type metrics struct {
+	start          time.Time
+	jobsSubmitted  atomic.Int64
+	jobsDone       atomic.Int64
+	jobsFailed     atomic.Int64
+	chipsSimulated atomic.Int64
+	simTicks       atomic.Int64
+}
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+// write renders the Prometheus text exposition format (version 0.0.4).
+// queued and running are the current job-table gauges.
+func (m *metrics) write(w io.Writer, queued, running int) {
+	up := time.Since(m.start).Seconds()
+	ticks := m.simTicks.Load()
+	rate := 0.0
+	if up > 0 {
+		rate = float64(ticks) / up
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("eccspecd_jobs_queued", "Fleet jobs waiting for the runner.", float64(queued))
+	gauge("eccspecd_jobs_running", "Fleet jobs currently simulating.", float64(running))
+	counter("eccspecd_jobs_submitted_total", "Fleet jobs accepted since start.", m.jobsSubmitted.Load())
+	counter("eccspecd_jobs_done_total", "Fleet jobs completed successfully.", m.jobsDone.Load())
+	counter("eccspecd_jobs_failed_total", "Fleet jobs that failed or were cancelled.", m.jobsFailed.Load())
+	counter("eccspecd_chips_simulated_total", "Chip simulations completed.", m.chipsSimulated.Load())
+	counter("eccspecd_sim_ticks_total", "Control ticks simulated across all fleets.", ticks)
+	gauge("eccspecd_sim_ticks_per_second", "Lifetime average simulation throughput.", rate)
+	gauge("eccspecd_uptime_seconds", "Seconds since the daemon started.", up)
+}

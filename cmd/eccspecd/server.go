@@ -1,0 +1,466 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"eccspec/internal/fleet"
+)
+
+// maxFleetChips bounds a single submission so one request cannot pin
+// the daemon's memory with millions of per-chip results.
+const maxFleetChips = 4096
+
+// Job lifecycle states.
+const (
+	statusQueued   = "queued"
+	statusRunning  = "running"
+	statusDone     = "done"
+	statusFailed   = "failed"
+	statusCanceled = "canceled"
+)
+
+// fleetRequest is the POST /v1/fleets body. Seeds may be given
+// explicitly, or as a contiguous range via chips + base_seed.
+type fleetRequest struct {
+	Seeds            []uint64 `json:"seeds,omitempty"`
+	Chips            int      `json:"chips,omitempty"`
+	BaseSeed         uint64   `json:"base_seed,omitempty"`
+	Workload         string   `json:"workload,omitempty"`
+	Seconds          float64  `json:"seconds"`
+	HighVoltagePoint bool     `json:"high_voltage_point,omitempty"`
+	FullGeometry     bool     `json:"full_geometry,omitempty"`
+	Uncore           bool     `json:"uncore,omitempty"`
+	TraceEvery       int      `json:"trace_every,omitempty"`
+}
+
+// job converts the request into a fleet.Job.
+func (r fleetRequest) job() (fleet.Job, error) {
+	seeds := r.Seeds
+	if len(seeds) == 0 && r.Chips > 0 {
+		for i := 0; i < r.Chips; i++ {
+			seeds = append(seeds, r.BaseSeed+uint64(i))
+		}
+	}
+	if len(seeds) > maxFleetChips {
+		return fleet.Job{}, fmt.Errorf("fleet of %d chips exceeds the %d-chip cap", len(seeds), maxFleetChips)
+	}
+	j := fleet.Job{
+		Seeds:            seeds,
+		Workload:         r.Workload,
+		Seconds:          r.Seconds,
+		HighVoltagePoint: r.HighVoltagePoint,
+		FullGeometry:     r.FullGeometry,
+		Uncore:           r.Uncore,
+		TraceEvery:       r.TraceEvery,
+	}
+	return j, j.Validate()
+}
+
+// fleetJob is one tracked submission. All mutable fields are guarded
+// by the server mutex.
+type fleetJob struct {
+	ID        string
+	Req       fleetRequest
+	Job       fleet.Job
+	Status    string
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	ChipsDone int
+	Results   []fleet.ChipResult
+	Summary   *fleet.Summary
+	Err       string
+}
+
+// server is the eccspecd HTTP daemon: a job table, a bounded queue,
+// and a single runner goroutine dispatching fleets onto the engine's
+// worker pool.
+type server struct {
+	engine  *fleet.Engine
+	metrics *metrics
+	mux     *http.ServeMux
+
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*fleetJob
+	order    []string
+	nextID   int
+	draining bool
+
+	queue      chan *fleetJob
+	runnerDone chan struct{}
+}
+
+// newServer wires the routes and starts the runner. queueDepth bounds
+// the number of accepted-but-unstarted jobs.
+func newServer(engine *fleet.Engine, queueDepth int) *server {
+	if queueDepth <= 0 {
+		queueDepth = 16
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &server{
+		engine:     engine,
+		metrics:    newMetrics(),
+		mux:        http.NewServeMux(),
+		runCtx:     ctx,
+		cancelRun:  cancel,
+		jobs:       make(map[string]*fleetJob),
+		queue:      make(chan *fleetJob, queueDepth),
+		runnerDone: make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/fleets", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/fleets", s.handleList)
+	s.mux.HandleFunc("GET /v1/fleets/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/fleets/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /v1/fleets/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	go s.runner()
+	return s
+}
+
+func (s *server) Handler() http.Handler { return s.mux }
+
+// beginDrain stops accepting new jobs and lets the runner finish the
+// queue. Safe to call more than once.
+func (s *server) beginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	close(s.queue)
+}
+
+// drained is closed once the runner has finished every accepted job.
+func (s *server) drained() <-chan struct{} { return s.runnerDone }
+
+// cancelJobs aborts in-flight simulation (drain-timeout escape hatch).
+func (s *server) cancelJobs() { s.cancelRun() }
+
+// runner executes queued fleets one at a time; each fleet fans its
+// chips out across the engine's worker pool.
+func (s *server) runner() {
+	defer close(s.runnerDone)
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *server) runJob(j *fleetJob) {
+	s.mu.Lock()
+	j.Status = statusRunning
+	j.Started = time.Now()
+	s.mu.Unlock()
+
+	results, err := s.engine.Run(s.runCtx, j.Job, func(done, total int) {
+		s.metrics.chipsSimulated.Add(1)
+		s.mu.Lock()
+		j.ChipsDone = done
+		s.mu.Unlock()
+	})
+	sum := fleet.Summarize(results)
+	s.metrics.simTicks.Add(sum.TotalTicks)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.Finished = time.Now()
+	j.Results = results
+	j.Summary = &sum
+	switch {
+	case err != nil:
+		j.Status = statusCanceled
+		j.Err = err.Error()
+		s.metrics.jobsFailed.Add(1)
+	case sum.Failed == sum.Chips:
+		j.Status = statusFailed
+		j.Err = "all chips failed"
+		s.metrics.jobsFailed.Add(1)
+	default:
+		j.Status = statusDone
+		s.metrics.jobsDone.Add(1)
+	}
+}
+
+// --- HTTP handlers ------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req fleetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	job, err := req.job()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "daemon is draining; not accepting new fleets")
+		return
+	}
+	s.nextID++
+	j := &fleetJob{
+		ID:        fmt.Sprintf("f-%d", s.nextID),
+		Req:       req,
+		Job:       job,
+		Status:    statusQueued,
+		Submitted: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "job queue is full; retry later")
+		return
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.metrics.jobsSubmitted.Add(1)
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+
+	w.Header().Set("Location", "/v1/fleets/"+j.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// jobStatus is the wire form of a job's progress.
+type jobStatus struct {
+	ID         string  `json:"id"`
+	Status     string  `json:"status"`
+	Workload   string  `json:"workload,omitempty"`
+	Seconds    float64 `json:"seconds"`
+	ChipsTotal int     `json:"chips_total"`
+	ChipsDone  int     `json:"chips_done"`
+	Submitted  string  `json:"submitted_at"`
+	ElapsedS   float64 `json:"elapsed_s,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// statusLocked snapshots a job; the caller holds s.mu.
+func (s *server) statusLocked(j *fleetJob) jobStatus {
+	st := jobStatus{
+		ID:         j.ID,
+		Status:     j.Status,
+		Workload:   j.Job.Workload,
+		Seconds:    j.Job.Seconds,
+		ChipsTotal: len(j.Job.Seeds),
+		ChipsDone:  j.ChipsDone,
+		Submitted:  j.Submitted.UTC().Format(time.RFC3339Nano),
+		Error:      j.Err,
+	}
+	switch {
+	case !j.Finished.IsZero():
+		st.ElapsedS = j.Finished.Sub(j.Started).Seconds()
+	case !j.Started.IsZero():
+		st.ElapsedS = time.Since(j.Started).Seconds()
+	}
+	return st
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]jobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"fleets": out})
+}
+
+// lookup fetches a job by path id, writing a 404 on a miss.
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) *fleetJob {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no fleet %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// chipJSON is the wire form of one chip's outcome.
+type chipJSON struct {
+	Seed         uint64    `json:"seed"`
+	Error        string    `json:"error,omitempty"`
+	AvgReduction float64   `json:"avg_reduction,omitempty"`
+	DomainVdd    []float64 `json:"domain_vdd,omitempty"`
+	UncoreVdd    float64   `json:"uncore_vdd,omitempty"`
+	AvgPowerW    float64   `json:"avg_power_w,omitempty"`
+	Ticks        int       `json:"ticks"`
+}
+
+func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.Summary == nil {
+		writeError(w, http.StatusConflict, "fleet %s is %s; results are available once it finishes", j.ID, j.Status)
+		return
+	}
+	sum := j.Summary
+	resp := map[string]any{
+		"id":             j.ID,
+		"status":         j.Status,
+		"chips":          sum.Chips,
+		"failed":         sum.Failed,
+		"nominal_v":      sum.NominalV,
+		"mean_reduction": sum.MeanReduction,
+		"min_reduction":  sum.MinReduction,
+		"max_reduction":  sum.MaxReduction,
+		"mean_power_w":   sum.MeanPowerW,
+		"total_ticks":    sum.TotalTicks,
+		"errors":         sum.Errors,
+	}
+	if sum.DomainVddHist != nil {
+		resp["domain_vdd_hist"] = map[string]any{
+			"lo_v":   sum.DomainVddHist.Lo,
+			"hi_v":   sum.DomainVddHist.Hi,
+			"counts": sum.DomainVddHist.Counts,
+		}
+	}
+	chips := make([]chipJSON, 0, len(j.Results))
+	for _, c := range j.Results {
+		cj := chipJSON{Seed: c.Seed, Ticks: c.Ticks}
+		if c.Err != nil {
+			cj.Error = c.Err.Error()
+		} else {
+			cj.AvgReduction = c.AvgReduction
+			cj.DomainVdd = c.DomainVdd
+			cj.UncoreVdd = c.UncoreVdd
+			cj.AvgPowerW = c.AvgPowerW
+		}
+		chips = append(chips, cj)
+	}
+	resp["per_chip"] = chips
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	var seedFilter *uint64
+	if q := r.URL.Query().Get("seed"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed %q", q)
+			return
+		}
+		seedFilter = &v
+	}
+
+	s.mu.Lock()
+	if j.Summary == nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "fleet %s is %s; the trace is available once it finishes", j.ID, j.Status)
+		return
+	}
+	results := j.Results
+	s.mu.Unlock()
+
+	found := false
+	for _, c := range results {
+		if c.Trace != nil && (seedFilter == nil || c.Seed == *seedFilter) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		writeError(w, http.StatusNotFound, "fleet %s recorded no matching trace (submit with trace_every > 0)", j.ID)
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/csv")
+	fmt.Fprintf(w, "seed,time,%s\n", joinColumns())
+	for _, c := range results {
+		if c.Trace == nil || (seedFilter != nil && c.Seed != *seedFilter) {
+			continue
+		}
+		for i := 0; i < c.Trace.Len(); i++ {
+			fmt.Fprintf(w, "%d,%g", c.Seed, c.Trace.Time(i))
+			for col := range fleet.TraceColumns {
+				fmt.Fprintf(w, ",%g", c.Trace.Value(i, col))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func joinColumns() string {
+	out := ""
+	for i, c := range fleet.TraceColumns {
+		if i > 0 {
+			out += ","
+		}
+		out += c
+	}
+	return out
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	queued, running := 0, 0
+	for _, j := range s.jobs {
+		switch j.Status {
+		case statusQueued:
+			queued++
+		case statusRunning:
+			running++
+		}
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, queued, running)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}

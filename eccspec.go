@@ -33,6 +33,7 @@
 package eccspec
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -142,6 +143,40 @@ func (s *Simulator) Run(seconds float64) int {
 		}
 	}
 	return ticks
+}
+
+// RunContext is Run with cooperative cancellation: it checks ctx
+// between control ticks and returns early with ctx.Err() when the
+// context is cancelled. The returned tick count covers the work
+// actually done, so partial results (voltages, energy, error rates)
+// remain valid after an interrupted run.
+func (s *Simulator) RunContext(ctx context.Context, seconds float64) (int, error) {
+	ticks := int(seconds / s.chip.P.TickSeconds)
+	for t := 0; t < ticks; t++ {
+		select {
+		case <-ctx.Done():
+			return t, ctx.Err()
+		default:
+		}
+		if !s.Step() {
+			return t + 1, nil
+		}
+	}
+	return ticks, nil
+}
+
+// TickSeconds returns the simulated duration of one control tick.
+func (s *Simulator) TickSeconds() float64 { return s.chip.P.TickSeconds }
+
+// CoresAlive reports whether every core is still functioning; false
+// means speculation drove a rail below a core's crash margin.
+func (s *Simulator) CoresAlive() bool {
+	for _, co := range s.chip.Cores {
+		if !co.Alive() {
+			return false
+		}
+	}
+	return true
 }
 
 // Time returns the simulated time elapsed, in seconds.

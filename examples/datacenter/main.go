@@ -4,53 +4,75 @@
 // power savings under process variation — the population-level view
 // behind the paper's single-chip 18%/33% headline numbers.
 //
+// The survey runs on the internal/fleet worker pool, so chips simulate
+// in parallel while the output stays in seed order; a chip that fails
+// (or a Ctrl-C mid-survey) is reported per chip instead of aborting
+// the fleet, and the exit status is non-zero only when no chip at all
+// produced a result.
+//
 // Run with:
 //
-//	go run ./examples/datacenter [-chips N]
+//	go run ./examples/datacenter [-chips N] [-workers N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
-	"eccspec"
-	"eccspec/internal/stats"
+	"eccspec/internal/fleet"
 )
 
 func main() {
 	chips := flag.Int("chips", 8, "fleet size (one seed per chip)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	fmt.Printf("surveying %d chips under SPECjbb-like load...\n\n", *chips)
-	var reductions, domainVs []float64
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	job := fleet.Job{
+		Workload: "jbb-8wh",
+		Seconds:  1.5,
+	}
 	for seed := 0; seed < *chips; seed++ {
-		sim := eccspec.NewSimulator(eccspec.Options{
-			Seed:     uint64(1000 + seed),
-			Workload: "jbb-8wh",
-		})
-		if err := sim.Calibrate(); err != nil {
-			log.Fatalf("chip %d: %v", seed, err)
-		}
-		sim.Run(1.5)
-		red := sim.AverageReduction()
-		reductions = append(reductions, red)
-		for d := 0; d < sim.NumDomains(); d++ {
-			domainVs = append(domainVs, sim.DomainVoltage(d))
-		}
-		bar := strings.Repeat("#", int(red*200))
-		fmt.Printf("chip %2d: avg reduction %5.1f%%  %s\n", seed, 100*red, bar)
+		job.Seeds = append(job.Seeds, uint64(1000+seed))
 	}
 
-	fmt.Printf("\nfleet of %d chips (%d voltage domains):\n", *chips, len(domainVs))
-	fmt.Printf("  mean reduction:   %5.1f%%\n", 100*stats.Mean(reductions))
-	fmt.Printf("  best chip:        %5.1f%%\n", 100*stats.Max(reductions))
-	fmt.Printf("  worst chip:       %5.1f%%\n", 100*stats.Min(reductions))
-	fmt.Printf("  domain Vdd range: %.0f..%.0f mV (nominal 800 mV)\n",
-		1000*stats.Min(domainVs), 1000*stats.Max(domainVs))
-	fmt.Printf("  implied dynamic-power saving at the mean: %.0f%%\n",
-		100*(1-sq(1-stats.Mean(reductions))))
-}
+	eng := fleet.New(fleet.Config{Workers: *workers})
+	fmt.Printf("surveying %d chips under SPECjbb-like load (%d workers)...\n\n", *chips, eng.Workers())
+	results, err := eng.Run(ctx, job, func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\rchip %d/%d done", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	})
+	if err != nil && results == nil {
+		fmt.Fprintln(os.Stderr, "datacenter:", err)
+		os.Exit(1)
+	}
 
-func sq(x float64) float64 { return x * x }
+	for i, r := range results {
+		if r.Err != nil {
+			fmt.Printf("chip %2d: FAILED: %v\n", i, r.Err)
+			continue
+		}
+		bar := strings.Repeat("#", int(r.AvgReduction*200))
+		fmt.Printf("chip %2d: avg reduction %5.1f%%  %s\n", i, 100*r.AvgReduction, bar)
+	}
+
+	sum := fleet.Summarize(results)
+	fmt.Println()
+	if err := sum.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "datacenter:", err)
+		os.Exit(1)
+	}
+	if sum.Healthy() == 0 {
+		fmt.Fprintln(os.Stderr, "datacenter: every chip failed")
+		os.Exit(1)
+	}
+}

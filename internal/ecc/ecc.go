@@ -176,12 +176,19 @@ func Encode(data uint64) Codeword {
 
 // ExtractData returns the 64 data bits of a codeword without any error
 // checking. Use Decode for checked reads.
+//
+// Data bits occupy the six contiguous position runs between parity
+// positions (3, 5..7, 9..15, 17..31, 33..63, 65..71), so extraction is
+// a fixed sequence of shifts and masks rather than a per-bit loop; this
+// is the hottest operation in cache sweeps.
 func ExtractData(c Codeword) uint64 {
-	var data uint64
-	for i := 0; i < WordBits; i++ {
-		data |= c.bit(dataPositions[i]) << uint(i)
-	}
-	return data
+	lo := c.Lo
+	return (lo>>3)&0x1 |
+		(lo>>5)&0x7<<1 |
+		(lo>>9)&0x7f<<4 |
+		(lo>>17)&0x7fff<<11 |
+		(lo>>33)&0x7fffffff<<26 |
+		(c.Hi>>1)&0x7f<<57
 }
 
 // Syndrome returns the 7-bit Hamming syndrome of a codeword. A zero

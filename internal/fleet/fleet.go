@@ -1,0 +1,291 @@
+// Package fleet runs many independent chip simulations concurrently.
+//
+// Every manufactured chip is a different specimen — a different
+// weak-cell map, different logic floors, different rail resonances —
+// so the population-level object of interest is the *distribution* of
+// voltage and power savings across a fleet of seeds. This package is
+// the engine behind that view: a bounded worker pool that takes a Job
+// (seeds, workload, duration, controller options), simulates each seed
+// through the full seed → calibrate → speculate pipeline, and collects
+// per-chip results with per-chip error capture instead of aborting the
+// whole survey.
+//
+// Determinism: each chip derives all of its randomness from its own
+// seed and shares no state with its siblings, and results are stored
+// by input position, so a parallel run is byte-identical to a serial
+// run of the same Job — only wall-clock time changes.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"eccspec"
+	"eccspec/internal/trace"
+	"eccspec/internal/workload"
+)
+
+// TraceColumns names the per-tick telemetry series recorded when a
+// Job requests tracing: mean and minimum domain Vdd, mean monitor
+// error rate at the last controller decision, and average chip power.
+var TraceColumns = []string{"vdd_mean_v", "vdd_min_v", "err_rate", "power_w"}
+
+// Job describes one fleet simulation: the same platform and workload
+// across many chip specimens.
+type Job struct {
+	// Seeds lists the chip specimens to simulate, one simulation per
+	// seed. Order is preserved in the results.
+	Seeds []uint64
+	// Workload names the benchmark every core runs (empty selects the
+	// characterization stress test).
+	Workload string
+	// Seconds is the simulated duration of the closed-loop speculation
+	// run after calibration.
+	Seconds float64
+	// HighVoltagePoint selects the nominal 2.53 GHz / 1.1 V operating
+	// point instead of the low-voltage 340 MHz / 800 mV default.
+	HighVoltagePoint bool
+	// FullGeometry uses the paper's full Table I cache sizes.
+	FullGeometry bool
+	// Uncore extends speculation to the uncore rail.
+	Uncore bool
+	// TraceEvery samples per-tick telemetry (TraceColumns) every N
+	// ticks into each chip's Trace recorder; 0 disables tracing.
+	TraceEvery int
+}
+
+// Validate checks a Job before any simulation is built.
+func (j Job) Validate() error {
+	if len(j.Seeds) == 0 {
+		return fmt.Errorf("fleet: job has no seeds")
+	}
+	if j.Seconds <= 0 {
+		return fmt.Errorf("fleet: non-positive duration %g s", j.Seconds)
+	}
+	if j.TraceEvery < 0 {
+		return fmt.Errorf("fleet: negative trace interval %d", j.TraceEvery)
+	}
+	if j.Workload != "" {
+		if _, ok := workload.ByName(j.Workload); !ok {
+			return fmt.Errorf("fleet: unknown workload %q", j.Workload)
+		}
+	}
+	return nil
+}
+
+// ChipResult is the outcome of one chip's simulation. Exactly one of
+// Err or the measurement fields is meaningful: a failed chip carries
+// its error and zero measurements.
+type ChipResult struct {
+	// Seed identifies the specimen.
+	Seed uint64
+	// Err captures this chip's failure (calibration error, core death,
+	// cancellation, or a panic in the simulation) without aborting the
+	// rest of the fleet.
+	Err error
+	// NominalV is the operating point's rated supply in volts.
+	NominalV float64
+	// AvgReduction is the mean relative Vdd reduction across domains.
+	AvgReduction float64
+	// DomainVdd holds each core domain's final setpoint in volts.
+	DomainVdd []float64
+	// UncoreVdd is the uncore rail's final setpoint (nominal unless the
+	// job enabled uncore speculation).
+	UncoreVdd float64
+	// AvgPowerW is the chip's average power over the run.
+	AvgPowerW float64
+	// Ticks is the number of control ticks executed.
+	Ticks int
+	// Trace holds per-tick telemetry when the job requested it.
+	Trace *trace.Recorder
+}
+
+// Config sizes an Engine.
+type Config struct {
+	// Workers caps concurrent chip simulations; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the dispatch queue feeding the workers; <= 0
+	// selects twice the worker count.
+	QueueDepth int
+}
+
+// Engine is a reusable worker pool for fleet jobs.
+type Engine struct {
+	workers int
+	queue   int
+}
+
+// New builds an engine from cfg.
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	q := cfg.QueueDepth
+	if q <= 0 {
+		q = 2 * w
+	}
+	return &Engine{workers: w, queue: q}
+}
+
+// Workers returns the concurrency cap.
+func (e *Engine) Workers() int { return e.workers }
+
+// simulateFn indirects the per-chip simulation so tests can observe
+// scheduling (saturation, cancellation) without paying for real chips.
+var simulateFn = simulateChip
+
+// Run simulates every seed of the job and returns one ChipResult per
+// seed, in seed (input) order. A chip's failure is captured in its
+// result's Err; Run itself only errors on an invalid job or a
+// cancelled context. On cancellation the returned slice is still fully
+// populated: finished chips keep their results, unstarted and
+// interrupted chips carry ctx's error.
+//
+// onProgress, if non-nil, is called after each chip completes with the
+// number of finished chips and the fleet size; it must be safe to call
+// from worker goroutines (calls are serialized).
+func (e *Engine) Run(ctx context.Context, job Job, onProgress func(done, total int)) ([]ChipResult, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(job.Seeds)
+	results := make([]ChipResult, n)
+
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	depth := e.queue
+	if depth > n {
+		depth = n
+	}
+	jobs := make(chan int, depth)
+
+	var (
+		wg       sync.WaitGroup
+		progMu   sync.Mutex
+		finished int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if err := ctx.Err(); err != nil {
+					// Drain the queue quickly once cancelled, marking
+					// every unstarted chip.
+					results[idx] = ChipResult{Seed: job.Seeds[idx], Err: err}
+					continue
+				}
+				results[idx] = simulateFn(ctx, job, job.Seeds[idx])
+				if onProgress != nil {
+					progMu.Lock()
+					finished++
+					onProgress(finished, n)
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// simulateChip runs one specimen through the full pipeline. All
+// failure modes — calibration errors, core death, cancellation, even a
+// panic inside the simulator — land in the result's Err.
+func simulateChip(ctx context.Context, job Job, seed uint64) (res ChipResult) {
+	res.Seed = seed
+	defer func() {
+		if r := recover(); r != nil {
+			res = ChipResult{Seed: seed, Err: fmt.Errorf("fleet: chip %d panicked: %v", seed, r)}
+		}
+	}()
+
+	sim := eccspec.NewSimulator(eccspec.Options{
+		Seed:             seed,
+		Workload:         job.Workload,
+		HighVoltagePoint: job.HighVoltagePoint,
+		FullGeometry:     job.FullGeometry,
+	})
+	if err := sim.Calibrate(); err != nil {
+		res.Err = fmt.Errorf("calibrate: %w", err)
+		return res
+	}
+	if job.Uncore {
+		if err := sim.EnableUncoreSpeculation(); err != nil {
+			res.Err = fmt.Errorf("uncore calibrate: %w", err)
+			return res
+		}
+	}
+
+	if job.TraceEvery > 0 {
+		res.Trace = trace.NewRecorder(TraceColumns...)
+		ticks := int(job.Seconds / sim.TickSeconds())
+		for t := 0; t < ticks; t++ {
+			select {
+			case <-ctx.Done():
+				res.Ticks = t
+				res.Err = ctx.Err()
+				return res
+			default:
+			}
+			alive := sim.Step()
+			res.Ticks = t + 1
+			if (t+1)%job.TraceEvery == 0 {
+				res.Trace.Add(sim.Time(), traceSample(sim)...)
+			}
+			if !alive {
+				break
+			}
+		}
+	} else {
+		ticks, err := sim.RunContext(ctx, job.Seconds)
+		res.Ticks = ticks
+		if err != nil {
+			res.Err = err
+			return res
+		}
+	}
+
+	if !sim.CoresAlive() {
+		res.Err = fmt.Errorf("core died after %d ticks (rail below crash margin)", res.Ticks)
+		return res
+	}
+
+	res.NominalV = sim.NominalVoltage()
+	res.AvgReduction = sim.AverageReduction()
+	res.DomainVdd = make([]float64, sim.NumDomains())
+	for d := 0; d < sim.NumDomains(); d++ {
+		res.DomainVdd[d] = sim.DomainVoltage(d)
+	}
+	res.UncoreVdd = sim.UncoreVoltage()
+	res.AvgPowerW = sim.TotalPower()
+	return res
+}
+
+// traceSample reads one telemetry row (TraceColumns order) off a live
+// simulator.
+func traceSample(sim *eccspec.Simulator) []float64 {
+	nd := sim.NumDomains()
+	meanV, minV, meanErr := 0.0, sim.DomainVoltage(0), 0.0
+	for d := 0; d < nd; d++ {
+		v := sim.DomainVoltage(d)
+		meanV += v
+		if v < minV {
+			minV = v
+		}
+		meanErr += sim.MonitorErrorRate(d)
+	}
+	meanV /= float64(nd)
+	meanErr /= float64(nd)
+	return []float64{meanV, minV, meanErr, sim.TotalPower()}
+}

@@ -1,0 +1,111 @@
+// Fleet aggregation: the population-level statistics a survey is run
+// for, computed purely from the ordered ChipResult slice so that a
+// parallel run summarizes byte-identically to a serial one.
+package fleet
+
+import (
+	"fmt"
+	"io"
+
+	"eccspec/internal/stats"
+)
+
+// HistBins is the resolution of the domain-Vdd histogram: bins of 1%
+// of nominal spanning 70%..105% of the rated supply.
+const HistBins = 35
+
+// Summary aggregates a fleet's results.
+type Summary struct {
+	// Chips is the fleet size; Failed counts chips whose result
+	// carries an error (they contribute nothing else to the summary).
+	Chips  int
+	Failed int
+	// NominalV is the rated supply shared by the fleet's chips.
+	NominalV float64
+	// MeanReduction/MinReduction/MaxReduction summarize the per-chip
+	// average Vdd reductions across the healthy chips.
+	MeanReduction float64
+	MinReduction  float64
+	MaxReduction  float64
+	// MinDomainVdd/MaxDomainVdd bound the individual domain setpoints.
+	MinDomainVdd float64
+	MaxDomainVdd float64
+	// MeanPowerW is the mean of the per-chip average powers.
+	MeanPowerW float64
+	// TotalTicks counts control ticks simulated across the fleet.
+	TotalTicks int64
+	// DomainVddHist bins every healthy domain setpoint over
+	// [0.70, 1.05) × NominalV in HistBins uniform bins.
+	DomainVddHist *stats.Histogram
+	// Errors lists failed chips as "seed N: msg", in seed order.
+	Errors []string
+}
+
+// Summarize aggregates results (as returned by Engine.Run) into a
+// Summary. Failed chips are counted and listed but excluded from the
+// statistics.
+func Summarize(results []ChipResult) Summary {
+	s := Summary{Chips: len(results)}
+	var reductions, powers, domainVs []float64
+	for _, r := range results {
+		s.TotalTicks += int64(r.Ticks)
+		if r.Err != nil {
+			s.Failed++
+			s.Errors = append(s.Errors, fmt.Sprintf("seed %d: %v", r.Seed, r.Err))
+			continue
+		}
+		if s.NominalV == 0 {
+			s.NominalV = r.NominalV
+		}
+		reductions = append(reductions, r.AvgReduction)
+		powers = append(powers, r.AvgPowerW)
+		domainVs = append(domainVs, r.DomainVdd...)
+	}
+	s.MeanReduction = stats.Mean(reductions)
+	s.MinReduction = stats.Min(reductions)
+	s.MaxReduction = stats.Max(reductions)
+	s.MinDomainVdd = stats.Min(domainVs)
+	s.MaxDomainVdd = stats.Max(domainVs)
+	s.MeanPowerW = stats.Mean(powers)
+	if s.NominalV > 0 {
+		s.DomainVddHist = stats.NewHistogram(0.70*s.NominalV, 1.05*s.NominalV, HistBins)
+		for _, v := range domainVs {
+			s.DomainVddHist.Add(v)
+		}
+	}
+	return s
+}
+
+// Healthy returns the number of chips that completed without error.
+func (s Summary) Healthy() int { return s.Chips - s.Failed }
+
+// Write renders the summary as aligned text. The rendering is a pure
+// function of the Summary, so it doubles as the byte-identity witness
+// for parallel-vs-serial determinism tests.
+func (s Summary) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "fleet of %d chips (%d failed):\n", s.Chips, s.Failed); err != nil {
+		return err
+	}
+	if s.Healthy() > 0 {
+		dyn := 1 - (1-s.MeanReduction)*(1-s.MeanReduction)
+		_, err := fmt.Fprintf(w,
+			"  mean reduction:   %5.1f%%\n"+
+				"  best chip:        %5.1f%%\n"+
+				"  worst chip:       %5.1f%%\n"+
+				"  domain Vdd range: %.0f..%.0f mV (nominal %.0f mV)\n"+
+				"  mean chip power:  %.2f W\n"+
+				"  implied dynamic-power saving at the mean: %.0f%%\n",
+			100*s.MeanReduction, 100*s.MaxReduction, 100*s.MinReduction,
+			1000*s.MinDomainVdd, 1000*s.MaxDomainVdd, 1000*s.NominalV,
+			s.MeanPowerW, 100*dyn)
+		if err != nil {
+			return err
+		}
+	}
+	for _, e := range s.Errors {
+		if _, err := fmt.Fprintf(w, "  FAILED %s\n", e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
