@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet all
+# Stamp binaries with the checkout's version; `go install`ed builds fall
+# back to runtime/debug.ReadBuildInfo inside internal/version.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X eccspec/internal/version.version=$(VERSION)"
+
+.PHONY: verify build test race vet bench all
 
 all: verify
 
@@ -11,7 +16,7 @@ all: verify
 verify: build test
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...
@@ -19,6 +24,10 @@ test:
 # The concurrent packages under the race detector.
 race:
 	$(GO) test -race ./internal/fleet/... ./cmd/eccspecd/...
+
+# One iteration of every benchmark — a smoke test so bench code can't rot.
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
 
 vet:
 	$(GO) vet ./...

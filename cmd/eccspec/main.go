@@ -5,12 +5,22 @@
 //	eccspec list
 //	eccspec run <id>... [-seed N] [-full] [-fast] [-csv dir] [-plot] [-json]
 //	eccspec run all
+//	eccspec run -checkpoint f [-seconds S] [-workload W] [-seed N] [-full] [-uncore]
+//	eccspec run -resume f [-seconds S] [-checkpoint f2]
 //	eccspec seeds <id> [-n N]    # distribution across chip specimens
 //	eccspec report [-fast]       # Markdown summary of every experiment
+//	eccspec version
 //
 // Each experiment id corresponds to one table or figure of the paper
 // (fig1..fig18, tab1, tab2) or an auxiliary study (retention, aging,
 // temp). See DESIGN.md for the experiment index.
+//
+// With -checkpoint and no experiment ids, run performs a direct
+// closed-loop simulation (calibrate, then speculate for -seconds) and
+// writes a versioned, CRC-protected snapshot of the full simulator
+// state to the file. -resume loads such a snapshot and continues for
+// -seconds more; a resumed run is byte-identical to one that was never
+// interrupted, so the two can be split at any checkpoint boundary.
 package main
 
 import (
@@ -22,10 +32,14 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"syscall"
 
+	"eccspec"
 	"eccspec/internal/experiments"
 	"eccspec/internal/plot"
+	"eccspec/internal/snapshot"
+	"eccspec/internal/version"
 )
 
 func main() {
@@ -64,6 +78,9 @@ func runCtx(ctx context.Context, args []string) error {
 		return seedsCmd(ctx, args[1:])
 	case "report":
 		return reportCmd(ctx, args[1:])
+	case "version", "-version", "--version":
+		fmt.Printf("eccspec %s\n", version.String())
+		return nil
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", args[0])
@@ -188,6 +205,11 @@ func runCmd(ctx context.Context, args []string) error {
 	csvDir := fs.String("csv", "", "directory to write time-series CSVs into")
 	doPlot := fs.Bool("plot", false, "render time-series results as ASCII charts")
 	asJSON := fs.Bool("json", false, "emit results as JSON instead of text tables")
+	checkpoint := fs.String("checkpoint", "", "write a simulator snapshot to this file after a direct run")
+	resume := fs.String("resume", "", "continue a direct run from a snapshot file")
+	seconds := fs.Float64("seconds", 0.5, "simulated seconds for a direct -checkpoint/-resume run")
+	workloadName := fs.String("workload", "", "workload for a direct run (empty = characterization stress test)")
+	uncore := fs.Bool("uncore", false, "extend speculation to the uncore rail in a direct run")
 
 	// Accept ids before flags: `run fig10 -seed 2`.
 	var ids []string
@@ -200,6 +222,36 @@ func runCmd(ctx context.Context, args []string) error {
 		return err
 	}
 	ids = append(ids, fs.Args()...)
+	if *checkpoint != "" || *resume != "" {
+		if len(ids) > 0 {
+			return fmt.Errorf("run: -checkpoint/-resume run a direct simulation and take no experiment ids (got %s)",
+				strings.Join(ids, " "))
+		}
+		if *resume != "" {
+			// The snapshot fixes the specimen; overriding it would
+			// silently simulate a different chip.
+			var conflict []string
+			fs.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "seed", "full", "workload", "uncore":
+					conflict = append(conflict, "-"+f.Name)
+				}
+			})
+			if len(conflict) > 0 {
+				return fmt.Errorf("run: %s conflict with -resume (the snapshot fixes the specimen)",
+					strings.Join(conflict, " "))
+			}
+		}
+		return directRun(ctx, directOptions{
+			Resume:     *resume,
+			Checkpoint: *checkpoint,
+			Seconds:    *seconds,
+			Seed:       *seed,
+			Full:       *full,
+			Workload:   *workloadName,
+			Uncore:     *uncore,
+		})
+	}
 	if len(ids) == 0 {
 		return fmt.Errorf("run: no experiment ids given (try `eccspec list`)")
 	}
@@ -279,11 +331,93 @@ func runCmd(ctx context.Context, args []string) error {
 	return nil
 }
 
+// directOptions configures a direct closed-loop simulation (no
+// experiment harness): used by `run -checkpoint` / `run -resume`.
+type directOptions struct {
+	Resume     string  // snapshot file to continue from ("" = fresh run)
+	Checkpoint string  // snapshot file to write afterwards ("" = none)
+	Seconds    float64 // simulated seconds to run
+	Seed       uint64
+	Full       bool
+	Workload   string
+	Uncore     bool
+}
+
+// directRun simulates one chip under closed-loop speculation, either
+// from scratch (calibrating first) or from a snapshot, and optionally
+// writes a snapshot at the end. Because the simulator is deterministic,
+// a -checkpoint/-resume pair splits a run without changing its result.
+func directRun(ctx context.Context, o directOptions) error {
+	var sim *eccspec.Simulator
+	if o.Resume != "" {
+		blob, err := os.ReadFile(o.Resume)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		var st *snapshot.State
+		sim, st, err = snapshot.RestoreBlob(blob)
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", o.Resume, err)
+		}
+		fmt.Printf("resumed seed %d (%s) at tick %d\n",
+			sim.Opts().Seed, sim.Opts().Workload, st.Ticks)
+	} else {
+		sim = eccspec.NewSimulator(eccspec.Options{
+			Seed: o.Seed, FullGeometry: o.Full, Workload: o.Workload,
+		})
+		if err := sim.Calibrate(); err != nil {
+			return fmt.Errorf("calibrate: %w", err)
+		}
+		if o.Uncore {
+			if err := sim.EnableUncoreSpeculation(); err != nil {
+				return fmt.Errorf("uncore: %w", err)
+			}
+		}
+	}
+
+	ticks := int(o.Seconds / sim.TickSeconds())
+	ran := 0
+	for t := 0; t < ticks; t++ {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "eccspec: interrupted after %d/%d ticks; checkpoint still written\n", ran, ticks)
+			break
+		}
+		if !sim.Step() {
+			return fmt.Errorf("core died at tick %d: speculation drove a rail below the crash margin", sim.Ticks())
+		}
+		ran++
+	}
+
+	fmt.Printf("seed %d workload %s: ran %d ticks (%.4g s simulated, now at tick %d)\n",
+		sim.Opts().Seed, sim.Opts().Workload, ran, float64(ran)*sim.TickSeconds(), sim.Ticks())
+	for d := 0; d < sim.NumDomains(); d++ {
+		fmt.Printf("domain %d: %.3f V  (monitor error rate %.2g)\n",
+			d, sim.DomainVoltage(d), sim.MonitorErrorRate(d))
+	}
+	fmt.Printf("average reduction %.1f%%   total power %.2f W\n",
+		100*sim.AverageReduction(), sim.TotalPower())
+
+	if o.Checkpoint != "" {
+		blob, err := snapshot.CaptureBlob(sim)
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		if err := os.WriteFile(o.Checkpoint, blob, 0o644); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		fmt.Printf("wrote checkpoint %s (%d bytes at tick %d)\n", o.Checkpoint, len(blob), sim.Ticks())
+	}
+	return nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   eccspec list
   eccspec run <id>... [-seed N] [-full] [-fast] [-csv dir] [-plot] [-json]
   eccspec run all [flags]
+  eccspec run -checkpoint f [-seconds S] [-workload W] [-seed N] [-full] [-uncore]
+  eccspec run -resume f [-seconds S] [-checkpoint f2]
   eccspec seeds <id> [-n N] [-full] [-fast=false]
-  eccspec report [-seed N] [-full] [-fast]`)
+  eccspec report [-seed N] [-full] [-fast]
+  eccspec version`)
 }

@@ -160,6 +160,83 @@ func TestInterruptedRun(t *testing.T) {
 	}
 }
 
+func TestVersionCommand(t *testing.T) {
+	for _, arg := range []string{"version", "-version", "--version"} {
+		out, err := capture(t, func() error { return run([]string{arg}) })
+		if err != nil {
+			t.Fatalf("%s: %v", arg, err)
+		}
+		if !strings.HasPrefix(out, "eccspec ") || len(strings.TrimSpace(out)) <= len("eccspec") {
+			t.Fatalf("%s printed %q, want a non-empty version", arg, out)
+		}
+	}
+}
+
+// TestRunCheckpointResume splits a direct closed-loop run in half via a
+// checkpoint file and checks the final snapshot is byte-identical to an
+// uninterrupted run of the same length — the CLI face of the snapshot
+// subsystem's determinism guarantee.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	whole := filepath.Join(dir, "whole.snap")
+	half := filepath.Join(dir, "half.snap")
+	final := filepath.Join(dir, "final.snap")
+
+	base := []string{"run", "-seed", "3", "-workload", "gcc"}
+	if _, err := capture(t, func() error {
+		return run(append(base, "-seconds", "0.06", "-checkpoint", whole))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run(append(base, "-seconds", "0.03", "-checkpoint", half))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"run", "-resume", half, "-seconds", "0.03", "-checkpoint", final})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "resumed seed 3 (gcc) at tick 30") {
+		t.Fatalf("resume banner missing:\n%s", out)
+	}
+
+	a, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("resumed snapshot differs from uninterrupted run (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+func TestRunCheckpointErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"run", "fig1", "-checkpoint", filepath.Join(dir, "x.snap")}); err == nil {
+		t.Error("-checkpoint with experiment ids accepted")
+	}
+	if err := run([]string{"run", "-resume", filepath.Join(dir, "missing.snap")}); err == nil {
+		t.Error("-resume of a missing file accepted")
+	}
+	if err := run([]string{"run", "-resume", filepath.Join(dir, "x.snap"), "-seed", "9"}); err == nil ||
+		!strings.Contains(err.Error(), "-seed") {
+		t.Errorf("-resume with -seed override returned %v, want a conflict error", err)
+	}
+	bad := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "-resume", bad}); err == nil {
+		t.Error("-resume of a corrupt file accepted")
+	}
+}
+
 func TestReportCommand(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full report run")

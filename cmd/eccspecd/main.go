@@ -6,6 +6,17 @@
 // Usage:
 //
 //	eccspecd [-addr host:port] [-workers N] [-queue N] [-drain-timeout D]
+//	         [-data-dir DIR] [-checkpoint-interval N]
+//	         [-retention D] [-max-jobs N] [-version]
+//
+// With -data-dir, the daemon journals every accepted job, per-chip
+// result, and periodic simulator checkpoint to DIR/journal.jsonl with
+// fsync at commit points. After a crash or kill, restarting on the
+// same directory replays the journal: completed fleets serve their
+// recorded results, and unfinished fleets resume from each chip's last
+// checkpoint — producing final results byte-identical to an
+// uninterrupted run. -retention and -max-jobs bound memory by evicting
+// old completed jobs.
 //
 // Endpoints:
 //
@@ -15,7 +26,7 @@
 //	GET  /v1/fleets/{id}/results  aggregated + per-chip results
 //	GET  /v1/fleets/{id}/trace    per-tick telemetry as CSV
 //	GET  /metrics                 Prometheus text format
-//	GET  /healthz                 liveness (reports "draining" during shutdown)
+//	GET  /healthz                 liveness (status, version, persistence)
 //
 // On SIGINT/SIGTERM the daemon stops accepting jobs, drains everything
 // already accepted (up to -drain-timeout, then cancels), and exits.
@@ -34,6 +45,8 @@ import (
 	"time"
 
 	"eccspec/internal/fleet"
+	"eccspec/internal/store"
+	"eccspec/internal/version"
 )
 
 func main() {
@@ -42,22 +55,53 @@ func main() {
 	queue := flag.Int("queue", 16, "max accepted-but-unstarted fleet jobs")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute,
 		"how long shutdown waits for in-flight jobs before cancelling them")
+	dataDir := flag.String("data-dir", "",
+		"directory for the crash-safe job journal (empty = in-memory only)")
+	checkpointInterval := flag.Int("checkpoint-interval", 1000,
+		"ticks between per-chip checkpoints when -data-dir is set (0 disables)")
+	retention := flag.Duration("retention", 0,
+		"evict completed jobs this long after they finish (0 = keep forever)")
+	maxJobs := flag.Int("max-jobs", 0,
+		"max completed jobs retained, oldest evicted first (0 = unlimited)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *drainTimeout); err != nil {
+	if *showVersion {
+		fmt.Printf("eccspecd %s\n", version.String())
+		return
+	}
+	if err := run(*addr, *workers, *queue, *drainTimeout,
+		*dataDir, *checkpointInterval, *retention, *maxJobs); err != nil {
 		log.Fatalf("eccspecd: %v", err)
 	}
 }
 
-func run(addr string, workers, queueDepth int, drainTimeout time.Duration) error {
+func run(addr string, workers, queueDepth int, drainTimeout time.Duration,
+	dataDir string, checkpointInterval int, retention time.Duration, maxJobs int) error {
 	engine := fleet.New(fleet.Config{Workers: workers})
-	s := newServer(engine, queueDepth)
+
+	cfg := serverConfig{
+		queueDepth:      queueDepth,
+		checkpointEvery: checkpointInterval,
+		retention:       retention,
+		maxJobs:         maxJobs,
+	}
+	if dataDir != "" {
+		st, err := store.Open(dataDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		cfg.store = st
+		log.Printf("eccspecd: journaling to %s (checkpoint every %d ticks)", dataDir, checkpointInterval)
+	}
+	s := newServer(engine, cfg)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("eccspecd: listening on %s (%d sim workers)", ln.Addr(), engine.Workers())
+	log.Printf("eccspecd: %s listening on %s (%d sim workers)", version.String(), ln.Addr(), engine.Workers())
 
 	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)

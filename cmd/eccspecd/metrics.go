@@ -15,6 +15,7 @@ type metrics struct {
 	jobsSubmitted  atomic.Int64
 	jobsDone       atomic.Int64
 	jobsFailed     atomic.Int64
+	jobsEvicted    atomic.Int64
 	chipsSimulated atomic.Int64
 	simTicks       atomic.Int64
 }
@@ -41,6 +42,7 @@ func (m *metrics) write(w io.Writer, queued, running int) {
 	counter("eccspecd_jobs_submitted_total", "Fleet jobs accepted since start.", m.jobsSubmitted.Load())
 	counter("eccspecd_jobs_done_total", "Fleet jobs completed successfully.", m.jobsDone.Load())
 	counter("eccspecd_jobs_failed_total", "Fleet jobs that failed or were cancelled.", m.jobsFailed.Load())
+	counter("eccspecd_jobs_evicted_total", "Completed fleet jobs evicted by the retention policy.", m.jobsEvicted.Load())
 	counter("eccspecd_chips_simulated_total", "Chip simulations completed.", m.chipsSimulated.Load())
 	counter("eccspecd_sim_ticks_total", "Control ticks simulated across all fleets.", ticks)
 	gauge("eccspecd_sim_ticks_per_second", "Lifetime average simulation throughput.", rate)

@@ -4,12 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"eccspec/internal/fleet"
+	"eccspec/internal/store"
+	"eccspec/internal/version"
 )
 
 // maxFleetChips bounds a single submission so one request cannot pin
@@ -66,6 +70,7 @@ func (r fleetRequest) job() (fleet.Job, error) {
 // by the server mutex.
 type fleetJob struct {
 	ID        string
+	Num       uint64 // numeric id (the store key); ID is "f-<Num>"
 	Req       fleetRequest
 	Job       fleet.Job
 	Status    string
@@ -78,13 +83,38 @@ type fleetJob struct {
 	Err       string
 }
 
+// serverConfig tunes a server beyond its engine.
+type serverConfig struct {
+	// queueDepth bounds accepted-but-unstarted jobs; <= 0 selects 16.
+	queueDepth int
+	// store, when non-nil, persists jobs and checkpoints across daemon
+	// restarts.
+	store *store.Store
+	// checkpointEvery is the per-chip snapshot interval in control
+	// ticks when a store is attached; <= 0 disables checkpointing.
+	checkpointEvery int
+	// retention evicts completed jobs this long after they finish;
+	// 0 disables the TTL.
+	retention time.Duration
+	// maxJobs caps retained completed jobs, evicting the oldest first;
+	// 0 disables the cap.
+	maxJobs int
+	// now substitutes the clock (tests); nil selects time.Now.
+	now func() time.Time
+}
+
 // server is the eccspecd HTTP daemon: a job table, a bounded queue,
 // and a single runner goroutine dispatching fleets onto the engine's
-// worker pool.
+// worker pool. With a store attached, accepted jobs and per-chip
+// progress survive daemon crashes: on startup the journal is replayed,
+// completed fleets serve their recorded results, and unfinished fleets
+// re-enter the queue to continue from their last checkpoints.
 type server struct {
 	engine  *fleet.Engine
 	metrics *metrics
 	mux     *http.ServeMux
+	cfg     serverConfig
+	now     func() time.Time
 
 	runCtx    context.Context
 	cancelRun context.CancelFunc
@@ -92,30 +122,51 @@ type server struct {
 	mu       sync.Mutex
 	jobs     map[string]*fleetJob
 	order    []string
-	nextID   int
+	nextID   uint64
 	draining bool
 
 	queue      chan *fleetJob
 	runnerDone chan struct{}
 }
 
-// newServer wires the routes and starts the runner. queueDepth bounds
-// the number of accepted-but-unstarted jobs.
-func newServer(engine *fleet.Engine, queueDepth int) *server {
-	if queueDepth <= 0 {
-		queueDepth = 16
+// newServer wires the routes, recovers persisted jobs, and starts the
+// runner.
+func newServer(engine *fleet.Engine, cfg serverConfig) *server {
+	if cfg.queueDepth <= 0 {
+		cfg.queueDepth = 16
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &server{
 		engine:     engine,
 		metrics:    newMetrics(),
 		mux:        http.NewServeMux(),
+		cfg:        cfg,
+		now:        cfg.now,
 		runCtx:     ctx,
 		cancelRun:  cancel,
 		jobs:       make(map[string]*fleetJob),
-		queue:      make(chan *fleetJob, queueDepth),
 		runnerDone: make(chan struct{}),
 	}
+
+	// Recover persisted jobs before sizing the queue: every unfinished
+	// job must fit back into it without blocking startup.
+	var resume []*fleetJob
+	if cfg.store != nil {
+		resume = s.recover()
+	}
+	depth := cfg.queueDepth
+	if depth < len(resume) {
+		depth = len(resume)
+	}
+	s.queue = make(chan *fleetJob, depth)
+	for _, j := range resume {
+		s.queue <- j
+	}
+	s.evict()
+
 	s.mux.HandleFunc("POST /v1/fleets", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/fleets", s.handleList)
 	s.mux.HandleFunc("GET /v1/fleets/{id}", s.handleStatus)
@@ -125,6 +176,132 @@ func newServer(engine *fleet.Engine, queueDepth int) *server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	go s.runner()
 	return s
+}
+
+// recover rebuilds the job table from the store: completed jobs come
+// back with their recorded results, unfinished jobs are returned for
+// re-enqueueing (their finished chips are served from the store and
+// the rest resume from their last checkpoints in runJob). The caller
+// must not yet have started the runner.
+func (s *server) recover() []*fleetJob {
+	var resume []*fleetJob
+	for _, rec := range s.cfg.store.Jobs() {
+		j := &fleetJob{
+			ID:  fmt.Sprintf("f-%d", rec.ID),
+			Num: rec.ID,
+			Job: rec.Spec,
+		}
+		if rec.Completed {
+			at := time.Unix(rec.CompletedUnix, 0)
+			j.Submitted, j.Started, j.Finished = at, at, at
+			j.ChipsDone = len(rec.Chips)
+			j.Results = resultsFromRecord(rec)
+			sum := fleet.Summarize(j.Results)
+			j.Summary = &sum
+			if sum.Failed == sum.Chips {
+				j.Status = statusFailed
+				j.Err = "all chips failed"
+			} else {
+				j.Status = statusDone
+			}
+		} else {
+			j.Submitted = s.now()
+			j.Status = statusQueued
+			j.ChipsDone = len(rec.Chips)
+			resume = append(resume, j)
+			log.Printf("eccspecd: recovered unfinished fleet %s (%d/%d chips done, %d checkpoints)",
+				j.ID, len(rec.Chips), len(rec.Spec.Seeds), len(rec.Checkpoints))
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		if rec.ID > s.nextID {
+			s.nextID = rec.ID
+		}
+	}
+	return resume
+}
+
+// resultsFromRecord reconstructs the ordered per-chip results of a
+// stored job. A seed whose record is missing or unreadable carries an
+// error result rather than poisoning the whole job.
+func resultsFromRecord(rec store.JobRecord) []fleet.ChipResult {
+	out := make([]fleet.ChipResult, 0, len(rec.Spec.Seeds))
+	for _, seed := range rec.Spec.Seeds {
+		ch, ok := rec.Chips[seed]
+		if !ok {
+			out = append(out, fleet.ChipResult{Seed: seed, Err: fmt.Errorf("result missing from store")})
+			continue
+		}
+		r, err := ch.ToResult()
+		if err != nil {
+			r = fleet.ChipResult{Seed: seed, Err: fmt.Errorf("stored result unreadable: %v", err)}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// evict applies the retention policy: completed jobs past the TTL go
+// first, then the oldest completed jobs beyond the max-jobs cap.
+// Queued and running jobs are never evicted.
+func (s *server) evict() {
+	now := s.now()
+	s.mu.Lock()
+	type cand struct {
+		id  string
+		num uint64
+		fin time.Time
+	}
+	var completed []cand
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.Status == statusDone || j.Status == statusFailed || j.Status == statusCanceled {
+			completed = append(completed, cand{id: id, num: j.Num, fin: j.Finished})
+		}
+	}
+	sort.Slice(completed, func(i, k int) bool { return completed[i].fin.Before(completed[k].fin) })
+	doomed := make(map[string]cand)
+	if ttl := s.cfg.retention; ttl > 0 {
+		for _, c := range completed {
+			if now.Sub(c.fin) > ttl {
+				doomed[c.id] = c
+			}
+		}
+	}
+	if cap := s.cfg.maxJobs; cap > 0 {
+		keep := len(completed) - len(doomed)
+		for _, c := range completed {
+			if keep <= cap {
+				break
+			}
+			if _, dup := doomed[c.id]; !dup {
+				doomed[c.id] = c
+				keep--
+			}
+		}
+	}
+	var evicted []cand
+	if len(doomed) > 0 {
+		kept := s.order[:0]
+		for _, id := range s.order {
+			if c, ok := doomed[id]; ok {
+				delete(s.jobs, id)
+				evicted = append(evicted, c)
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.order = kept
+	}
+	s.mu.Unlock()
+	for _, c := range evicted {
+		s.metrics.jobsEvicted.Add(1)
+		if s.cfg.store != nil {
+			if err := s.cfg.store.EvictJob(c.num); err != nil {
+				log.Printf("eccspecd: evicting fleet %s from store: %v", c.id, err)
+			}
+		}
+	}
 }
 
 func (s *server) Handler() http.Handler { return s.mux }
@@ -159,21 +336,92 @@ func (s *server) runner() {
 func (s *server) runJob(j *fleetJob) {
 	s.mu.Lock()
 	j.Status = statusRunning
-	j.Started = time.Now()
+	j.Started = s.now()
 	s.mu.Unlock()
 
-	results, err := s.engine.Run(s.runCtx, j.Job, func(done, total int) {
-		s.metrics.chipsSimulated.Add(1)
-		s.mu.Lock()
-		j.ChipsDone = done
-		s.mu.Unlock()
-	})
+	// With a store attached: serve already-finished chips from their
+	// records, resume the rest from their last checkpoints, and persist
+	// chips and checkpoints as the run progresses.
+	job := j.Job
+	prior := make(map[uint64]fleet.ChipResult)
+	if st := s.cfg.store; st != nil {
+		if rec, ok := st.Job(j.Num); ok {
+			for seed, ch := range rec.Chips {
+				if r, err := ch.ToResult(); err == nil {
+					prior[seed] = r
+				}
+			}
+			var remaining []uint64
+			for _, seed := range job.Seeds {
+				if _, done := prior[seed]; !done {
+					remaining = append(remaining, seed)
+				}
+			}
+			job.Seeds = remaining
+			if len(rec.Checkpoints) > 0 {
+				job.Resume = make(map[uint64][]byte)
+				for _, seed := range remaining {
+					if blob, ok := rec.Checkpoints[seed]; ok {
+						job.Resume[seed] = blob
+					}
+				}
+			}
+		}
+		job.CheckpointEvery = s.cfg.checkpointEvery
+		job.OnCheckpoint = func(seed uint64, ticks int, blob []byte) {
+			if err := st.RecordCheckpoint(j.Num, seed, ticks, blob); err != nil {
+				log.Printf("eccspecd: checkpointing %s seed %d: %v", j.ID, seed, err)
+			}
+		}
+		job.OnResult = func(res fleet.ChipResult) {
+			// Cancelled or errored chips stay unrecorded so a restart
+			// re-runs them; a recorded chip never re-runs.
+			if res.Err != nil {
+				return
+			}
+			if err := st.RecordChip(j.Num, store.FromResult(res)); err != nil {
+				log.Printf("eccspecd: recording %s seed %d: %v", j.ID, res.Seed, err)
+			}
+		}
+	}
+
+	priorDone := len(prior)
+	s.mu.Lock()
+	j.ChipsDone = priorDone
+	s.mu.Unlock()
+
+	var fresh []fleet.ChipResult
+	var err error
+	if len(job.Seeds) > 0 {
+		fresh, err = s.engine.Run(s.runCtx, job, func(done, total int) {
+			s.metrics.chipsSimulated.Add(1)
+			s.mu.Lock()
+			j.ChipsDone = priorDone + done
+			s.mu.Unlock()
+		})
+	}
+
+	// Merge stored and fresh results back into submission seed order so
+	// a recovered run reports chips identically to an uninterrupted one.
+	bySeed := make(map[uint64]fleet.ChipResult, len(fresh))
+	for _, r := range fresh {
+		bySeed[r.Seed] = r
+	}
+	results := make([]fleet.ChipResult, 0, len(j.Job.Seeds))
+	for _, sd := range j.Job.Seeds {
+		if r, ok := prior[sd]; ok {
+			results = append(results, r)
+		} else if r, ok := bySeed[sd]; ok {
+			results = append(results, r)
+		} else {
+			results = append(results, fleet.ChipResult{Seed: sd, Err: fmt.Errorf("chip was not simulated")})
+		}
+	}
 	sum := fleet.Summarize(results)
 	s.metrics.simTicks.Add(sum.TotalTicks)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	j.Finished = time.Now()
+	j.Finished = s.now()
 	j.Results = results
 	j.Summary = &sum
 	switch {
@@ -189,6 +437,18 @@ func (s *server) runJob(j *fleetJob) {
 		j.Status = statusDone
 		s.metrics.jobsDone.Add(1)
 	}
+	status := j.Status
+	finished := j.Finished
+	s.mu.Unlock()
+
+	// A cancelled job is deliberately NOT marked done: a restarted
+	// daemon re-enqueues it and continues from its checkpoints.
+	if s.cfg.store != nil && status != statusCanceled {
+		if err := s.cfg.store.MarkJobDone(j.Num, finished.Unix()); err != nil {
+			log.Printf("eccspecd: marking %s done: %v", j.ID, err)
+		}
+	}
+	s.evict()
 }
 
 // --- HTTP handlers ------------------------------------------------------
@@ -226,14 +486,28 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	j := &fleetJob{
 		ID:        fmt.Sprintf("f-%d", s.nextID),
+		Num:       s.nextID,
 		Req:       req,
 		Job:       job,
 		Status:    statusQueued,
-		Submitted: time.Now(),
+		Submitted: s.now(),
+	}
+	// Persist the accepted job before acknowledging it: once the client
+	// sees 202, a daemon crash no longer loses the submission.
+	if s.cfg.store != nil {
+		if err := s.cfg.store.AddJob(j.Num, job); err != nil {
+			s.nextID--
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, "persisting job: %v", err)
+			return
+		}
 	}
 	select {
 	case s.queue <- j:
 	default:
+		if s.cfg.store != nil {
+			s.cfg.store.EvictJob(j.Num)
+		}
 		s.nextID--
 		s.mu.Unlock()
 		writeError(w, http.StatusTooManyRequests, "job queue is full; retry later")
@@ -462,5 +736,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if draining {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     status,
+		"version":    version.String(),
+		"persistent": s.cfg.store != nil,
+	})
 }

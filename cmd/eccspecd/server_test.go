@@ -22,6 +22,9 @@ import (
 func TestMain(m *testing.M) {
 	if os.Getenv("ECCSPECD_MAIN") == "1" {
 		os.Args = []string{"eccspecd", "-addr", "127.0.0.1:0", "-workers", "1"}
+		if extra := os.Getenv("ECCSPECD_ARGS"); extra != "" {
+			os.Args = append(os.Args, strings.Fields(extra)...)
+		}
 		main()
 		os.Exit(0)
 	}
@@ -30,7 +33,7 @@ func TestMain(m *testing.M) {
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(fleet.New(fleet.Config{Workers: 2}), 4)
+	s := newServer(fleet.New(fleet.Config{Workers: 2}), serverConfig{queueDepth: 4})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -169,10 +172,10 @@ func TestSubmitValidation(t *testing.T) {
 	_, ts := newTestServer(t)
 	cases := []string{
 		`not json`,
-		`{"seconds":1}`,                                    // no seeds
-		`{"seeds":[1],"seconds":0}`,                        // no duration
-		`{"seeds":[1],"seconds":1,"workload":"nope"}`,      // unknown workload
-		`{"chips":99999,"seconds":1}`,                      // over the chip cap
+		`{"seconds":1}`,             // no seeds
+		`{"seeds":[1],"seconds":0}`, // no duration
+		`{"seeds":[1],"seconds":1,"workload":"nope"}`, // unknown workload
+		`{"chips":99999,"seconds":1}`,                 // over the chip cap
 	}
 	for _, body := range cases {
 		if code, resp := postFleet(t, ts, body); code != http.StatusBadRequest {

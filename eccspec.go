@@ -36,6 +36,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 
 	"eccspec/internal/chip"
 	"eccspec/internal/control"
@@ -64,6 +65,7 @@ type Options struct {
 // Simulator couples a simulated chip with the paper's voltage
 // speculation system.
 type Simulator struct {
+	opts Options
 	chip *chip.Chip
 	ctl  *control.System
 }
@@ -84,11 +86,18 @@ func NewSimulator(o Options) *Simulator {
 	for _, co := range c.Cores {
 		co.SetWorkload(p, o.Seed)
 	}
+	o.Workload = name // record the resolved name for Opts/checkpoints
 	return &Simulator{
+		opts: o,
 		chip: c,
 		ctl:  control.New(c, control.DefaultConfig()),
 	}
 }
+
+// Opts returns the options the simulator was built from, with the
+// workload name resolved (never empty). Checkpointing uses this to
+// rebuild an identical specimen before restoring mutable state.
+func (s *Simulator) Opts() Options { return s.opts }
 
 // Chip exposes the underlying chip model.
 func (s *Simulator) Chip() *chip.Chip { return s.chip }
@@ -167,6 +176,12 @@ func (s *Simulator) RunContext(ctx context.Context, seconds float64) (int, error
 
 // TickSeconds returns the simulated duration of one control tick.
 func (s *Simulator) TickSeconds() float64 { return s.chip.P.TickSeconds }
+
+// Ticks returns the number of control ticks executed so far, recovered
+// from the accumulated simulated time.
+func (s *Simulator) Ticks() int {
+	return int(math.Round(s.chip.Time() / s.chip.P.TickSeconds))
+}
 
 // CoresAlive reports whether every core is still functioning; false
 // means speculation drove a rail below a core's crash margin.

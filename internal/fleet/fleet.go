@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"eccspec"
+	"eccspec/internal/snapshot"
 	"eccspec/internal/trace"
 	"eccspec/internal/workload"
 )
@@ -37,23 +38,41 @@ var TraceColumns = []string{"vdd_mean_v", "vdd_min_v", "err_rate", "power_w"}
 type Job struct {
 	// Seeds lists the chip specimens to simulate, one simulation per
 	// seed. Order is preserved in the results.
-	Seeds []uint64
+	Seeds []uint64 `json:"seeds"`
 	// Workload names the benchmark every core runs (empty selects the
 	// characterization stress test).
-	Workload string
+	Workload string `json:"workload,omitempty"`
 	// Seconds is the simulated duration of the closed-loop speculation
 	// run after calibration.
-	Seconds float64
+	Seconds float64 `json:"seconds"`
 	// HighVoltagePoint selects the nominal 2.53 GHz / 1.1 V operating
 	// point instead of the low-voltage 340 MHz / 800 mV default.
-	HighVoltagePoint bool
+	HighVoltagePoint bool `json:"high_voltage_point,omitempty"`
 	// FullGeometry uses the paper's full Table I cache sizes.
-	FullGeometry bool
+	FullGeometry bool `json:"full_geometry,omitempty"`
 	// Uncore extends speculation to the uncore rail.
-	Uncore bool
+	Uncore bool `json:"uncore,omitempty"`
 	// TraceEvery samples per-tick telemetry (TraceColumns) every N
 	// ticks into each chip's Trace recorder; 0 disables tracing.
-	TraceEvery int
+	TraceEvery int `json:"trace_every,omitempty"`
+	// CheckpointEvery emits a full simulator snapshot through
+	// OnCheckpoint every N ticks; 0 disables checkpointing.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+
+	// OnCheckpoint, when set with CheckpointEvery > 0, receives each
+	// chip's serialized snapshot (a snapshot blob including any partial
+	// trace) as the simulation passes checkpoint boundaries. It may be
+	// called concurrently from worker goroutines.
+	OnCheckpoint func(seed uint64, ticks int, blob []byte) `json:"-"`
+	// OnResult, when set, is called with each chip's final result as it
+	// completes, before Run returns. It may be called concurrently from
+	// worker goroutines.
+	OnResult func(res ChipResult) `json:"-"`
+	// Resume maps seeds to snapshot blobs previously emitted by
+	// OnCheckpoint. A seed present here skips construction and
+	// calibration and continues from the captured tick; the completed
+	// run is byte-identical to one that was never interrupted.
+	Resume map[uint64][]byte `json:"-"`
 }
 
 // Validate checks a Job before any simulation is built.
@@ -66,6 +85,9 @@ func (j Job) Validate() error {
 	}
 	if j.TraceEvery < 0 {
 		return fmt.Errorf("fleet: negative trace interval %d", j.TraceEvery)
+	}
+	if j.CheckpointEvery < 0 {
+		return fmt.Errorf("fleet: negative checkpoint interval %d", j.CheckpointEvery)
 	}
 	if j.Workload != "" {
 		if _, ok := workload.ByName(j.Workload); !ok {
@@ -182,6 +204,9 @@ func (e *Engine) Run(ctx context.Context, job Job, onProgress func(done, total i
 					continue
 				}
 				results[idx] = simulateFn(ctx, job, job.Seeds[idx])
+				if job.OnResult != nil {
+					job.OnResult(results[idx])
+				}
 				if onProgress != nil {
 					progMu.Lock()
 					finished++
@@ -200,8 +225,9 @@ func (e *Engine) Run(ctx context.Context, job Job, onProgress func(done, total i
 }
 
 // simulateChip runs one specimen through the full pipeline. All
-// failure modes — calibration errors, core death, cancellation, even a
-// panic inside the simulator — land in the result's Err.
+// failure modes — calibration errors, core death, cancellation, a
+// corrupt resume blob, even a panic in the simulator — land in the
+// result's Err.
 func simulateChip(ctx context.Context, job Job, seed uint64) (res ChipResult) {
 	res.Seed = seed
 	defer func() {
@@ -210,49 +236,81 @@ func simulateChip(ctx context.Context, job Job, seed uint64) (res ChipResult) {
 		}
 	}()
 
-	sim := eccspec.NewSimulator(eccspec.Options{
-		Seed:             seed,
-		Workload:         job.Workload,
-		HighVoltagePoint: job.HighVoltagePoint,
-		FullGeometry:     job.FullGeometry,
-	})
-	if err := sim.Calibrate(); err != nil {
-		res.Err = fmt.Errorf("calibrate: %w", err)
-		return res
-	}
-	if job.Uncore {
-		if err := sim.EnableUncoreSpeculation(); err != nil {
-			res.Err = fmt.Errorf("uncore calibrate: %w", err)
+	// Build the simulator: either fresh (construct + calibrate) or
+	// restored from a checkpoint blob, which carries the calibration and
+	// any partial trace inside it.
+	var sim *eccspec.Simulator
+	start := 0
+	if blob, ok := job.Resume[seed]; ok {
+		restored, st, err := snapshot.RestoreBlob(blob)
+		if err != nil {
+			res.Err = fmt.Errorf("resume: %w", err)
 			return res
+		}
+		if got := restored.Opts().Seed; got != seed {
+			res.Err = fmt.Errorf("resume: checkpoint is for seed %d, not %d", got, seed)
+			return res
+		}
+		sim = restored
+		start = st.Ticks
+		if job.TraceEvery > 0 {
+			rec, err := st.Trace.RestoreTrace()
+			if err != nil {
+				res.Err = fmt.Errorf("resume: %w", err)
+				return res
+			}
+			if rec == nil {
+				rec = trace.NewRecorder(TraceColumns...)
+			}
+			res.Trace = rec
+		}
+	} else {
+		sim = eccspec.NewSimulator(eccspec.Options{
+			Seed:             seed,
+			Workload:         job.Workload,
+			HighVoltagePoint: job.HighVoltagePoint,
+			FullGeometry:     job.FullGeometry,
+		})
+		if err := sim.Calibrate(); err != nil {
+			res.Err = fmt.Errorf("calibrate: %w", err)
+			return res
+		}
+		if job.Uncore {
+			if err := sim.EnableUncoreSpeculation(); err != nil {
+				res.Err = fmt.Errorf("uncore calibrate: %w", err)
+				return res
+			}
+		}
+		if job.TraceEvery > 0 {
+			res.Trace = trace.NewRecorder(TraceColumns...)
 		}
 	}
 
-	if job.TraceEvery > 0 {
-		res.Trace = trace.NewRecorder(TraceColumns...)
-		ticks := int(job.Seconds / sim.TickSeconds())
-		for t := 0; t < ticks; t++ {
-			select {
-			case <-ctx.Done():
-				res.Ticks = t
-				res.Err = ctx.Err()
-				return res
-			default:
-			}
-			alive := sim.Step()
-			res.Ticks = t + 1
-			if (t+1)%job.TraceEvery == 0 {
-				res.Trace.Add(sim.Time(), traceSample(sim)...)
-			}
-			if !alive {
-				break
+	// One tick loop handles tracing and checkpointing together so the
+	// modulo boundaries stay aligned across an interruption: tick t of a
+	// resumed run is tick t of the uninterrupted run.
+	ticks := int(job.Seconds / sim.TickSeconds())
+	res.Ticks = start
+	for t := start; t < ticks; t++ {
+		select {
+		case <-ctx.Done():
+			res.Ticks = t
+			res.Err = ctx.Err()
+			return res
+		default:
+		}
+		alive := sim.Step()
+		res.Ticks = t + 1
+		if job.TraceEvery > 0 && (t+1)%job.TraceEvery == 0 {
+			res.Trace.Add(sim.Time(), traceSample(sim)...)
+		}
+		if job.CheckpointEvery > 0 && job.OnCheckpoint != nil && (t+1)%job.CheckpointEvery == 0 && t+1 < ticks {
+			if blob, err := checkpointBlob(sim, res.Trace); err == nil {
+				job.OnCheckpoint(seed, t+1, blob)
 			}
 		}
-	} else {
-		ticks, err := sim.RunContext(ctx, job.Seconds)
-		res.Ticks = ticks
-		if err != nil {
-			res.Err = err
-			return res
+		if !alive {
+			break
 		}
 	}
 
@@ -270,6 +328,16 @@ func simulateChip(ctx context.Context, job Job, seed uint64) (res ChipResult) {
 	res.UncoreVdd = sim.UncoreVoltage()
 	res.AvgPowerW = sim.TotalPower()
 	return res
+}
+
+// checkpointBlob serializes a live simulator plus its partial trace.
+func checkpointBlob(sim *eccspec.Simulator, rec *trace.Recorder) ([]byte, error) {
+	st, err := snapshot.Capture(sim)
+	if err != nil {
+		return nil, err
+	}
+	st.Trace = snapshot.CaptureTrace(rec)
+	return snapshot.Marshal(st)
 }
 
 // traceSample reads one telemetry row (TraceColumns order) off a live

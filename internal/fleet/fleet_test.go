@@ -6,6 +6,7 @@ import (
 	"errors"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -175,10 +176,10 @@ func TestWorkerPoolSaturation(t *testing.T) {
 func TestJobValidation(t *testing.T) {
 	eng := New(Config{})
 	bad := []Job{
-		{Seconds: 1},                                        // no seeds
-		{Seeds: []uint64{1}},                                // no duration
-		{Seeds: []uint64{1}, Seconds: 1, Workload: "nope"},  // unknown workload
-		{Seeds: []uint64{1}, Seconds: 1, TraceEvery: -1},    // bad trace interval
+		{Seconds: 1},         // no seeds
+		{Seeds: []uint64{1}}, // no duration
+		{Seeds: []uint64{1}, Seconds: 1, Workload: "nope"}, // unknown workload
+		{Seeds: []uint64{1}, Seconds: 1, TraceEvery: -1},   // bad trace interval
 	}
 	for i, j := range bad {
 		if _, err := eng.Run(context.Background(), j, nil); err == nil {
@@ -207,5 +208,138 @@ func TestUncoreFleet(t *testing.T) {
 	}
 	if len(r.DomainVdd) == 0 || r.NominalV <= 0 || r.Ticks <= 0 {
 		t.Fatalf("incomplete result: %+v", r)
+	}
+}
+
+// TestCheckpointResumeByteIdentical is the fleet-level resume contract:
+// a job resumed from mid-run checkpoint blobs finishes with per-chip
+// results (voltages, power, tick counts, traces) deep-equal to the same
+// job run uninterrupted.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	base := Job{
+		Seeds:      []uint64{9001, 9002, 9003},
+		Workload:   "jbb-8wh",
+		Seconds:    0.05,
+		TraceEvery: 10,
+	}
+	eng := New(Config{Workers: 2})
+
+	uninterrupted, err := eng.Run(context.Background(), base, nil)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	for _, r := range uninterrupted {
+		if r.Err != nil {
+			t.Fatalf("uninterrupted chip %d failed: %v", r.Seed, r.Err)
+		}
+	}
+
+	// Run again with checkpointing, harvesting each chip's *first*
+	// checkpoint so the resumed run has real work left to do.
+	var (
+		mu    sync.Mutex
+		blobs = map[uint64][]byte{}
+		at    = map[uint64]int{}
+	)
+	ckpt := base
+	ckpt.CheckpointEvery = 25
+	ckpt.OnCheckpoint = func(seed uint64, ticks int, blob []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, ok := blobs[seed]; !ok {
+			blobs[seed] = blob
+			at[seed] = ticks
+		}
+	}
+	if _, err := eng.Run(context.Background(), ckpt, nil); err != nil {
+		t.Fatalf("checkpointing run: %v", err)
+	}
+	if len(blobs) != len(base.Seeds) {
+		t.Fatalf("collected %d checkpoints, want %d", len(blobs), len(base.Seeds))
+	}
+	for seed, ticks := range at {
+		if ticks != 25 {
+			t.Errorf("seed %d first checkpoint at tick %d, want 25", seed, ticks)
+		}
+	}
+
+	resume := base
+	resume.Resume = blobs
+	resumed, err := eng.Run(context.Background(), resume, nil)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	for i := range uninterrupted {
+		if resumed[i].Err != nil {
+			t.Fatalf("resumed chip %d failed: %v", resumed[i].Seed, resumed[i].Err)
+		}
+		if !reflect.DeepEqual(uninterrupted[i], resumed[i]) {
+			t.Errorf("chip %d: resumed result differs from uninterrupted:\n  uninterrupted: %+v\n  resumed:       %+v",
+				uninterrupted[i].Seed, uninterrupted[i], resumed[i])
+		}
+	}
+
+	// Summaries (the user-visible artifact) must match byte-for-byte.
+	var a, b bytes.Buffer
+	if err := Summarize(uninterrupted).Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Summarize(resumed).Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("summaries differ:\nuninterrupted:\n%s\nresumed:\n%s", a.String(), b.String())
+	}
+}
+
+// TestResumeRejectsBadBlob routes a corrupt resume blob and a blob for
+// the wrong seed into per-chip errors without aborting the fleet.
+func TestResumeRejectsBadBlob(t *testing.T) {
+	job := Job{
+		Seeds:   []uint64{501, 502},
+		Seconds: 0.02,
+		Resume: map[uint64][]byte{
+			501: []byte("not a snapshot"),
+		},
+	}
+	results, err := New(Config{Workers: 1}).Run(context.Background(), job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("corrupt resume blob did not error")
+	}
+	if !strings.Contains(results[0].Err.Error(), "resume") {
+		t.Fatalf("error %q does not mention resume", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("healthy sibling failed: %v", results[1].Err)
+	}
+}
+
+// TestOnResultDelivery checks every completed chip is delivered through
+// the OnResult hook exactly once.
+func TestOnResultDelivery(t *testing.T) {
+	orig := simulateFn
+	simulateFn = func(ctx context.Context, job Job, seed uint64) ChipResult {
+		return ChipResult{Seed: seed, NominalV: 0.8, Ticks: 1}
+	}
+	defer func() { simulateFn = orig }()
+
+	job := Job{Seeds: []uint64{1, 2, 3, 4, 5}, Seconds: 0.01}
+	var mu sync.Mutex
+	got := map[uint64]int{}
+	job.OnResult = func(res ChipResult) {
+		mu.Lock()
+		got[res.Seed]++
+		mu.Unlock()
+	}
+	if _, err := New(Config{Workers: 3}).Run(context.Background(), job, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range job.Seeds {
+		if got[seed] != 1 {
+			t.Errorf("seed %d delivered %d times, want 1", seed, got[seed])
+		}
 	}
 }

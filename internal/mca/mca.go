@@ -170,6 +170,70 @@ func (l *Log) Counts() (reported, suppressed uint64) {
 	return l.reported, l.suppressed
 }
 
+// BankSnapshot is one bank's throttling state in a LogState.
+type BankSnapshot struct {
+	Core       int     `json:"core"`
+	Bank       string  `json:"bank"`
+	LastReport float64 `json:"last_report"`
+	HavePend   bool    `json:"have_pend,omitempty"`
+	Pending    Event   `json:"pending,omitempty"`
+}
+
+// LogState is the log's full mutable state for checkpointing.
+type LogState struct {
+	Events     []Event        `json:"events,omitempty"`
+	Banks      []BankSnapshot `json:"banks,omitempty"`
+	Reported   uint64         `json:"reported"`
+	Suppressed uint64         `json:"suppressed"`
+}
+
+// CaptureState snapshots the retained events, per-bank throttle state,
+// and counters. Banks are emitted in deterministic (core, bank) order so
+// identical logs capture to identical states.
+func (l *Log) CaptureState() LogState {
+	st := LogState{Events: l.Events(), Reported: l.reported, Suppressed: l.suppressed}
+	keys := make([]bankKey, 0, len(l.banks))
+	for k := range l.banks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].core != keys[j].core {
+			return keys[i].core < keys[j].core
+		}
+		return keys[i].bank < keys[j].bank
+	})
+	for _, k := range keys {
+		b := l.banks[k]
+		st.Banks = append(st.Banks, BankSnapshot{Core: k.core, Bank: k.bank,
+			LastReport: b.lastReport, HavePend: b.havePend, Pending: b.pending})
+	}
+	return st
+}
+
+// RestoreState replaces the log's contents with a captured state. The
+// ring keeps its configured capacity; if the state carries more events
+// than fit, only the newest are retained (matching what the ring itself
+// would have kept).
+func (l *Log) RestoreState(st LogState) {
+	for i := range l.ring {
+		l.ring[i] = Event{}
+	}
+	l.next, l.full = 0, false
+	events := st.Events
+	if len(events) > len(l.ring) {
+		events = events[len(events)-len(l.ring):]
+	}
+	for _, e := range events {
+		l.append(e)
+	}
+	l.banks = make(map[bankKey]*bankState)
+	for _, b := range st.Banks {
+		l.banks[bankKey{b.Core, b.Bank}] = &bankState{
+			lastReport: b.LastReport, havePend: b.HavePend, pending: b.Pending}
+	}
+	l.reported, l.suppressed = st.Reported, st.Suppressed
+}
+
 // ProfileEntry aggregates a line's activity in the log.
 type ProfileEntry struct {
 	Core     int

@@ -189,3 +189,30 @@ func (m *Monitor) TakeEmergency() bool {
 	m.emergency = false
 	return e
 }
+
+// State is a monitor's mutable state for checkpointing. The target line
+// itself is recorded by the control system's assignment; State carries
+// only what Activate does not reconstruct.
+type State struct {
+	Accesses  uint64 `json:"accesses"`
+	Errors    uint64 `json:"errors"`
+	Emergency bool   `json:"emergency,omitempty"`
+	Pattern   int    `json:"pattern"`
+}
+
+// CaptureState reads the monitor's counters, latched interrupt, and
+// pattern-rotation position.
+func (m *Monitor) CaptureState() State {
+	return State{Accesses: m.accesses, Errors: m.errors,
+		Emergency: m.emergency, Pattern: m.pattern}
+}
+
+// RestoreState overwrites the counters, latched interrupt, and pattern
+// position. Call after Activate (which resets them).
+func (m *Monitor) RestoreState(st State) {
+	m.accesses, m.errors = st.Accesses, st.Errors
+	m.emergency = st.Emergency
+	if len(defaultPatterns) > 0 {
+		m.pattern = ((st.Pattern % len(defaultPatterns)) + len(defaultPatterns)) % len(defaultPatterns)
+	}
+}

@@ -155,3 +155,11 @@ func (m *Meter) AveragePower() float64 {
 
 // Reset clears the meter.
 func (m *Meter) Reset() { *m = Meter{} }
+
+// State returns the meter's accumulators (checkpoint support).
+func (m *Meter) State() (joules, seconds float64) { return m.joules, m.seconds }
+
+// SetState overwrites the meter's accumulators (checkpoint restore).
+func (m *Meter) SetState(joules, seconds float64) {
+	m.joules, m.seconds = joules, seconds
+}

@@ -190,3 +190,12 @@ func (s *Stream) Bernoulli(p float64) bool {
 func (s *Stream) Fork(key uint64) *Stream {
 	return &Stream{state: Hash(s.state, key)}
 }
+
+// State returns the stream's internal state word. Together with SetState
+// it lets a checkpoint capture a stream mid-sequence and resume it with
+// bit-exact continuation.
+func (s *Stream) State() uint64 { return s.state }
+
+// SetState overwrites the stream's internal state word, positioning the
+// sequence exactly where a previous State call observed it.
+func (s *Stream) SetState(state uint64) { s.state = state }

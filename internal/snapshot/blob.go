@@ -1,0 +1,98 @@
+package snapshot
+
+// Blob envelope: a fixed magic, a format version, the payload length,
+// and a CRC32 of the payload, followed by the JSON-encoded State. The
+// JSON layer is what makes byte-identical resume sound: encoding/json
+// renders float64 in shortest-round-trip form and parses uint64
+// literals exactly, so every captured number survives a
+// Marshal/Unmarshal cycle bit-for-bit.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic identifies an eccspec snapshot blob.
+const Magic = "ECCSNAP\x00"
+
+const headerLen = len(Magic) + 4 + 4 + 4 // magic, version, payload len, CRC32
+
+// Marshal encodes a state into a self-checking blob.
+func Marshal(st *State) ([]byte, error) {
+	if st == nil {
+		return nil, fmt.Errorf("snapshot: nil state")
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encoding state: %w", err)
+	}
+	return encodeEnvelope(uint32(st.Version), payload), nil
+}
+
+// Unmarshal decodes a blob, verifying magic, version, length, and CRC.
+// Corrupt or truncated input yields an error, never a panic.
+func Unmarshal(blob []byte) (*State, error) {
+	version, payload, err := decodeEnvelope(blob)
+	if err != nil {
+		return nil, err
+	}
+	var st State
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, fmt.Errorf("snapshot: decoding state: %w", err)
+	}
+	if st.Version != int(version) {
+		return nil, fmt.Errorf("snapshot: header version %d does not match state version %d", version, st.Version)
+	}
+	return &st, nil
+}
+
+// encodeEnvelope frames a payload with magic, version, length and CRC.
+func encodeEnvelope(version uint32, payload []byte) []byte {
+	out := make([]byte, 0, headerLen+len(payload))
+	out = append(out, Magic...)
+	out = binary.LittleEndian.AppendUint32(out, version)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// decodeEnvelope validates a framed blob and returns its version and
+// payload.
+func decodeEnvelope(blob []byte) (version uint32, payload []byte, err error) {
+	if len(blob) < headerLen {
+		return 0, nil, fmt.Errorf("snapshot: blob truncated (%d bytes, header is %d)", len(blob), headerLen)
+	}
+	if !bytes.Equal(blob[:len(Magic)], []byte(Magic)) {
+		return 0, nil, fmt.Errorf("snapshot: bad magic (not an eccspec snapshot)")
+	}
+	rest := blob[len(Magic):]
+	version = binary.LittleEndian.Uint32(rest[0:4])
+	plen := binary.LittleEndian.Uint32(rest[4:8])
+	sum := binary.LittleEndian.Uint32(rest[8:12])
+	payload = rest[12:]
+	if uint32(len(payload)) != plen {
+		return 0, nil, fmt.Errorf("snapshot: payload length %d does not match header %d", len(payload), plen)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return 0, nil, fmt.Errorf("snapshot: CRC mismatch (blob corrupt): got %08x, header says %08x", got, sum)
+	}
+	return version, payload, nil
+}
+
+// EncodePayload frames an arbitrary pre-encoded payload with the
+// snapshot magic, a caller-chosen version, and a CRC — for tools that
+// keep their own state formats (e.g. the lifetime example) but want the
+// same integrity guarantees.
+func EncodePayload(version uint32, payload []byte) []byte {
+	return encodeEnvelope(version, payload)
+}
+
+// DecodePayload is the inverse of EncodePayload. It validates the
+// framing and returns the version and payload; the caller interprets
+// both.
+func DecodePayload(blob []byte) (version uint32, payload []byte, err error) {
+	return decodeEnvelope(blob)
+}

@@ -1,0 +1,112 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"eccspec"
+)
+
+// TestQuickRoundTripProperty is the randomized form of the resume
+// guarantee: for arbitrary seeds and split points, Restore(Capture(sim))
+// followed by N ticks equals the original simulator run for N ticks,
+// compared byte-for-byte through the serializer. MaxCount is small
+// because each trial pays a full calibration sweep.
+func TestQuickRoundTripProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration-heavy property test")
+	}
+	workloads := []string{"", "gcc", "mcf", "swim"}
+	property := func(seed uint16, splitSel, moreSel uint8, wlSel uint8) bool {
+		split := 20 + int(splitSel)%180 // 20..199 ticks before the checkpoint
+		more := 20 + int(moreSel)%180   // 20..199 ticks after it
+		opts := eccspec.Options{
+			Seed:     uint64(seed),
+			Workload: workloads[int(wlSel)%len(workloads)],
+		}
+		orig := eccspec.NewSimulator(opts)
+		if err := orig.Calibrate(); err != nil {
+			t.Logf("seed %d: calibrate: %v", seed, err)
+			return false
+		}
+		stepN(orig, split)
+
+		blob, err := CaptureBlob(orig)
+		if err != nil {
+			t.Logf("seed %d: capture: %v", seed, err)
+			return false
+		}
+		resumed, _, err := RestoreBlob(blob)
+		if err != nil {
+			t.Logf("seed %d: restore: %v", seed, err)
+			return false
+		}
+		stepN(orig, more)
+		stepN(resumed, more)
+
+		a, err := CaptureBlob(orig)
+		if err != nil {
+			t.Logf("seed %d: recapture original: %v", seed, err)
+			return false
+		}
+		b, err := CaptureBlob(resumed)
+		if err != nil {
+			t.Logf("seed %d: recapture resumed: %v", seed, err)
+			return false
+		}
+		if !bytes.Equal(a, b) {
+			t.Logf("seed %d split %d more %d wl %q: resumed run diverged",
+				seed, split, more, opts.Workload)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUnmarshalNeverPanics fuzzes the decoder with arbitrary bytes
+// and with corrupted valid blobs: any input must produce (state, nil) or
+// (nil, error), never a panic.
+func TestQuickUnmarshalNeverPanics(t *testing.T) {
+	valid, err := CaptureBlob(newCalibrated(t, 2, 10))
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+
+	check := func(blob []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("Unmarshal panicked on %d-byte input: %v", len(blob), r)
+				ok = false
+			}
+		}()
+		st, err := Unmarshal(blob)
+		if (st == nil) == (err == nil) {
+			t.Logf("Unmarshal returned st=%v err=%v", st != nil, err)
+			return false
+		}
+		return true
+	}
+
+	arbitrary := func(raw []byte) bool { return check(raw) }
+	if err := quick.Check(arbitrary, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+
+	corruptValid := func(pos uint16, mask uint8) bool {
+		c := append([]byte(nil), valid...)
+		c[int(pos)%len(c)] ^= byte(mask | 1) // always flips at least one bit
+		return check(c)
+	}
+	if err := quick.Check(corruptValid, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+
+	prefix := func(cut uint16) bool { return check(valid[:int(cut)%len(valid)]) }
+	if err := quick.Check(prefix, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

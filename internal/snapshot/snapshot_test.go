@@ -1,0 +1,249 @@
+package snapshot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eccspec"
+	"eccspec/internal/control"
+)
+
+// newCalibrated builds a simulator, calibrates it, and runs it for the
+// given number of ticks.
+func newCalibrated(t *testing.T, seed uint64, ticks int) *eccspec.Simulator {
+	t.Helper()
+	sim := eccspec.NewSimulator(eccspec.Options{Seed: seed, Workload: "gcc"})
+	if err := sim.Calibrate(); err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	for i := 0; i < ticks; i++ {
+		sim.Step()
+	}
+	return sim
+}
+
+// stepN advances a simulator by n ticks.
+func stepN(sim *eccspec.Simulator, n int) {
+	for i := 0; i < n; i++ {
+		sim.Step()
+	}
+}
+
+// TestRestoreContinuesByteIdentical is the core resume guarantee: a
+// simulator captured mid-run, serialized, restored, and run for N more
+// ticks ends in a state byte-identical to the original run never having
+// been interrupted.
+func TestRestoreContinuesByteIdentical(t *testing.T) {
+	const midTicks, moreTicks = 300, 300
+	orig := newCalibrated(t, 42, midTicks)
+
+	blob, err := CaptureBlob(orig)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	resumed, st, err := RestoreBlob(blob)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if st.Ticks != midTicks {
+		t.Fatalf("restored state has %d ticks, want %d", st.Ticks, midTicks)
+	}
+	if resumed.Ticks() != midTicks {
+		t.Fatalf("restored simulator reports %d ticks, want %d", resumed.Ticks(), midTicks)
+	}
+
+	stepN(orig, moreTicks)
+	stepN(resumed, moreTicks)
+
+	origBlob, err := CaptureBlob(orig)
+	if err != nil {
+		t.Fatalf("capture original after continue: %v", err)
+	}
+	resumedBlob, err := CaptureBlob(resumed)
+	if err != nil {
+		t.Fatalf("capture resumed after continue: %v", err)
+	}
+	if !bytes.Equal(origBlob, resumedBlob) {
+		t.Fatalf("resumed run diverged from uninterrupted run:\n  uninterrupted: %d bytes\n  resumed:       %d bytes",
+			len(origBlob), len(resumedBlob))
+	}
+
+	// Spot-check user-facing observables too, so a future State field
+	// omission that happens to serialize equal still gets caught.
+	for d := 0; d < orig.NumDomains(); d++ {
+		if ov, rv := orig.DomainVoltage(d), resumed.DomainVoltage(d); ov != rv {
+			t.Errorf("domain %d voltage: uninterrupted %.6f, resumed %.6f", d, ov, rv)
+		}
+		if oe, re := orig.MonitorErrorRate(d), resumed.MonitorErrorRate(d); oe != re {
+			t.Errorf("domain %d error rate: uninterrupted %v, resumed %v", d, oe, re)
+		}
+	}
+	if op, rp := orig.TotalPower(), resumed.TotalPower(); op != rp {
+		t.Errorf("total power: uninterrupted %v, resumed %v", op, rp)
+	}
+}
+
+// TestRestoreWithUncoreSpeculation exercises the uncore extension's
+// state path.
+func TestRestoreWithUncoreSpeculation(t *testing.T) {
+	sim := eccspec.NewSimulator(eccspec.Options{Seed: 7})
+	if err := sim.Calibrate(); err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	if err := sim.EnableUncoreSpeculation(); err != nil {
+		t.Fatalf("attach uncore: %v", err)
+	}
+	stepN(sim, 200)
+
+	blob, err := CaptureBlob(sim)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	resumed, _, err := RestoreBlob(blob)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	stepN(sim, 200)
+	stepN(resumed, 200)
+	if ov, rv := sim.UncoreVoltage(), resumed.UncoreVoltage(); ov != rv {
+		t.Fatalf("uncore voltage diverged: uninterrupted %.6f, resumed %.6f", ov, rv)
+	}
+	a, err := CaptureBlob(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CaptureBlob(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("resumed uncore run diverged from uninterrupted run")
+	}
+}
+
+// TestMarshalRoundTrip checks the envelope alone.
+func TestMarshalRoundTrip(t *testing.T) {
+	sim := newCalibrated(t, 3, 50)
+	st, err := Capture(sim)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	blob, err := Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	b1, _ := Marshal(st)
+	b2, err := Marshal(got)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("state does not survive a marshal/unmarshal cycle byte-identically")
+	}
+}
+
+// TestUnmarshalRejectsCorruption flips, truncates, and mangles blobs;
+// every case must return a clean error and never panic.
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	sim := newCalibrated(t, 11, 20)
+	blob, err := CaptureBlob(sim)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "truncated"},
+		{"header-only", func(b []byte) []byte { return b[:headerLen-3] }, "truncated"},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] ^= 0xFF
+			return c
+		}, "bad magic"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-7] }, "length"},
+		{"payload bit flip", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[headerLen+len(c[headerLen:])/2] ^= 0x10
+			return c
+		}, "CRC"},
+		{"crc field flip", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(Magic)+8] ^= 0x01
+			return c
+		}, "CRC"},
+		{"version field flip", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(Magic)] ^= 0x40
+			return c
+		}, "version"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Unmarshal panicked: %v", r)
+				}
+			}()
+			_, err := Unmarshal(tc.mutate(blob))
+			if err == nil {
+				t.Fatal("Unmarshal accepted a corrupted blob")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsMismatchedState ensures decodable-but-wrong states
+// fail cleanly rather than panicking deep in the simulator.
+func TestRestoreRejectsMismatchedState(t *testing.T) {
+	sim := newCalibrated(t, 5, 10)
+	st, err := Capture(sim)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+
+	t.Run("unknown workload", func(t *testing.T) {
+		bad := *st
+		bad.Options.Workload = "no-such-benchmark"
+		if _, err := Restore(&bad); err == nil {
+			t.Fatal("Restore accepted an unknown workload")
+		}
+	})
+	t.Run("unsupported version", func(t *testing.T) {
+		bad := *st
+		bad.Version = Version + 1
+		if _, err := Restore(&bad); err == nil {
+			t.Fatal("Restore accepted an unsupported version")
+		}
+	})
+	t.Run("geometry mismatch", func(t *testing.T) {
+		bad := *st
+		bad.Chip.Cores = bad.Chip.Cores[:1]
+		if _, err := Restore(&bad); err == nil {
+			t.Fatal("Restore accepted a core-count mismatch")
+		}
+	})
+	t.Run("monitor out of range", func(t *testing.T) {
+		bad := *st
+		bad.Control.Domains = append([]control.DomainControlState(nil), st.Control.Domains...)
+		bad.Control.Domains[0].Assignment.Set = 1 << 20
+		if _, err := Restore(&bad); err == nil {
+			t.Fatal("Restore accepted an out-of-range monitor assignment")
+		}
+	})
+	t.Run("nil state", func(t *testing.T) {
+		if _, err := Restore(nil); err == nil {
+			t.Fatal("Restore accepted nil")
+		}
+	})
+}

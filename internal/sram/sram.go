@@ -160,6 +160,15 @@ func (a *Array) SetAge(hours float64) {
 // Age returns the array's operating age in hours.
 func (a *Array) Age() float64 { return a.ageHours }
 
+// StreamState returns the fault-sampling stream's position; capturing it
+// lets a restored array reproduce the exact flip sequence an
+// uninterrupted run would have seen.
+func (a *Array) StreamState() uint64 { return a.stream.State() }
+
+// SetStreamState repositions the fault-sampling stream (checkpoint
+// restore).
+func (a *Array) SetStreamState(state uint64) { a.stream.SetState(state) }
+
 // lineKey maps (set, way) to the profile cache key.
 func (a *Array) lineKey(set, way int) int { return set*a.Ways + way }
 

@@ -1,0 +1,68 @@
+package store
+
+// ChipRecord is the JSON wire form of a fleet.ChipResult: the error
+// flattened to its message and the trace recorder flattened to its
+// rows. Round-tripping a result through a record and back preserves
+// every number bit-for-bit (encoding/json renders float64 in shortest-
+// round-trip form), so summaries computed from recovered results are
+// byte-identical to the originals.
+
+import (
+	"errors"
+
+	"eccspec/internal/fleet"
+	"eccspec/internal/snapshot"
+)
+
+// ChipRecord is one chip's persisted completion record.
+type ChipRecord struct {
+	Seed         uint64               `json:"seed"`
+	Err          string               `json:"err,omitempty"`
+	NominalV     float64              `json:"nominal_v,omitempty"`
+	AvgReduction float64              `json:"avg_reduction,omitempty"`
+	DomainVdd    []float64            `json:"domain_vdd,omitempty"`
+	UncoreVdd    float64              `json:"uncore_vdd,omitempty"`
+	AvgPowerW    float64              `json:"avg_power_w,omitempty"`
+	Ticks        int                  `json:"ticks,omitempty"`
+	Trace        *snapshot.TraceState `json:"trace,omitempty"`
+}
+
+// FromResult converts a live result into its wire form.
+func FromResult(r fleet.ChipResult) ChipRecord {
+	rec := ChipRecord{
+		Seed:         r.Seed,
+		NominalV:     r.NominalV,
+		AvgReduction: r.AvgReduction,
+		DomainVdd:    r.DomainVdd,
+		UncoreVdd:    r.UncoreVdd,
+		AvgPowerW:    r.AvgPowerW,
+		Ticks:        r.Ticks,
+		Trace:        snapshot.CaptureTrace(r.Trace),
+	}
+	if r.Err != nil {
+		rec.Err = r.Err.Error()
+	}
+	return rec
+}
+
+// ToResult reconstructs the live result.
+func (c ChipRecord) ToResult() (fleet.ChipResult, error) {
+	rec, err := c.Trace.RestoreTrace()
+	if err != nil {
+		return fleet.ChipResult{}, err
+	}
+	r := fleet.ChipResult{
+		Seed:         c.Seed,
+		NominalV:     c.NominalV,
+		AvgReduction: c.AvgReduction,
+		DomainVdd:    c.DomainVdd,
+		UncoreVdd:    c.UncoreVdd,
+		AvgPowerW:    c.AvgPowerW,
+		Ticks:        c.Ticks,
+		Trace:        rec,
+	}
+	if c.Err != "" {
+		r.Err = errors.New(c.Err)
+	}
+	return r, nil
+}

@@ -1,0 +1,511 @@
+// Package store is a crash-safe, append-only job store for the
+// eccspecd fleet daemon.
+//
+// Everything lives in one JSON-lines journal: job specs, per-chip
+// completion records, periodic per-chip simulator snapshots, job
+// completion marks, and evictions. Appends at commit points (job
+// accepted, chip finished, job done, job evicted) are fsynced; the
+// high-rate checkpoint records are not — losing one to an OS crash
+// costs at most one checkpoint interval of re-simulation, never
+// correctness, because every chip result is reproducible from its seed.
+//
+// Recovery reads the journal back, applies records in order, and
+// truncates the file at the first corrupt or partial line (the torn
+// tail a crash mid-append leaves behind), so a recovered store is
+// always exactly some prefix of committed history. When the journal
+// grows past a threshold of dead weight — superseded checkpoints,
+// evicted jobs — it is compacted: current state is rewritten to a
+// temporary file, fsynced, and atomically renamed over the journal.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"eccspec/internal/fleet"
+)
+
+// JournalName is the journal's filename inside the data directory.
+const JournalName = "journal.jsonl"
+
+// DefaultCompactEvery is the default number of appended records between
+// automatic compactions.
+const DefaultCompactEvery = 4096
+
+// record is one journal line. T selects the kind; the other fields are
+// kind-specific.
+type record struct {
+	T string `json:"t"` // "job", "chip", "ckpt", "done", "evict"
+
+	Job  uint64     `json:"job"`
+	Spec *fleet.Job `json:"spec,omitempty"` // t=job
+
+	Chip *ChipRecord `json:"chip,omitempty"` // t=chip
+
+	Seed  uint64 `json:"seed,omitempty"`  // t=ckpt
+	Ticks int    `json:"ticks,omitempty"` // t=ckpt
+	Blob  []byte `json:"blob,omitempty"`  // t=ckpt (base64 in JSON)
+
+	CompletedUnix int64 `json:"completed_unix,omitempty"` // t=done
+}
+
+// JobRecord is one job's recovered state.
+type JobRecord struct {
+	// ID is the daemon-assigned job id.
+	ID uint64
+	// Spec is the job as submitted (callback and resume fields are not
+	// serialized and come back zero).
+	Spec fleet.Job
+	// Chips holds the completion record of every finished chip, keyed
+	// by seed.
+	Chips map[uint64]ChipRecord
+	// Checkpoints holds the latest snapshot blob per unfinished seed;
+	// CheckpointTicks the tick count each blob was taken at. Cleared
+	// when the job completes.
+	Checkpoints     map[uint64][]byte
+	CheckpointTicks map[uint64]int
+	// Completed reports whether the whole job finished; CompletedUnix
+	// is the wall-clock completion time recorded by the daemon.
+	Completed     bool
+	CompletedUnix int64
+}
+
+// Options tunes a store.
+type Options struct {
+	// CompactEvery triggers automatic compaction after that many
+	// journal appends; <= 0 selects DefaultCompactEvery.
+	CompactEvery int
+	// NoSync disables fsync entirely (tests only).
+	NoSync bool
+}
+
+// Store is the journal-backed job store. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	enc     *bufio.Writer
+	jobs    map[uint64]*JobRecord
+	order   []uint64 // job ids in acceptance order
+	appends int      // records since the last compaction
+}
+
+// Open opens (creating if needed) the store in dir, replaying the
+// journal and truncating any corrupt tail.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.CompactEvery <= 0 {
+		opts.CompactEvery = DefaultCompactEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, jobs: make(map[uint64]*JobRecord)}
+	path := filepath.Join(dir, JournalName)
+	if err := s.replay(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.f = f
+	s.enc = bufio.NewWriter(f)
+	return s, nil
+}
+
+// replay loads the journal, applying records in order. The file is
+// truncated at the first line that is torn or fails to decode, so a
+// crash mid-append never poisons recovery.
+func (s *Store) replay(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	var (
+		valid int64 // byte offset just past the last good line
+		sc    = bufio.NewScanner(f)
+	)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // corrupt line: truncate here
+		}
+		if !s.apply(rec) {
+			break // structurally invalid record: truncate here
+		}
+		valid += int64(len(line)) + 1 // include the newline
+	}
+	// A scanner error (e.g. an over-long torn line) is treated the same
+	// as a decode failure: the tail is dropped.
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if info.Size() > valid {
+		if err := os.Truncate(path, valid); err != nil {
+			return fmt.Errorf("store: truncating corrupt journal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// apply folds one record into the in-memory state, reporting whether it
+// was structurally valid.
+func (s *Store) apply(rec record) bool {
+	switch rec.T {
+	case "job":
+		if rec.Spec == nil {
+			return false
+		}
+		if _, dup := s.jobs[rec.Job]; dup {
+			return false
+		}
+		s.jobs[rec.Job] = &JobRecord{
+			ID:              rec.Job,
+			Spec:            *rec.Spec,
+			Chips:           make(map[uint64]ChipRecord),
+			Checkpoints:     make(map[uint64][]byte),
+			CheckpointTicks: make(map[uint64]int),
+		}
+		s.order = append(s.order, rec.Job)
+	case "chip":
+		j := s.jobs[rec.Job]
+		if j == nil || rec.Chip == nil {
+			return false
+		}
+		j.Chips[rec.Chip.Seed] = *rec.Chip
+		delete(j.Checkpoints, rec.Chip.Seed)
+		delete(j.CheckpointTicks, rec.Chip.Seed)
+	case "ckpt":
+		j := s.jobs[rec.Job]
+		if j == nil || len(rec.Blob) == 0 {
+			return false
+		}
+		if _, done := j.Chips[rec.Seed]; done {
+			return true // stale checkpoint racing a completion; ignore
+		}
+		j.Checkpoints[rec.Seed] = rec.Blob
+		j.CheckpointTicks[rec.Seed] = rec.Ticks
+	case "done":
+		j := s.jobs[rec.Job]
+		if j == nil {
+			return false
+		}
+		j.Completed = true
+		j.CompletedUnix = rec.CompletedUnix
+		j.Checkpoints = make(map[uint64][]byte)
+		j.CheckpointTicks = make(map[uint64]int)
+	case "evict":
+		if _, ok := s.jobs[rec.Job]; !ok {
+			return false
+		}
+		delete(s.jobs, rec.Job)
+		for i, id := range s.order {
+			if id == rec.Job {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// append writes one record. Every record is flushed to the kernel, so
+// nothing is lost to a process kill; sync additionally fsyncs (the
+// commit points), so those records also survive an OS crash. Caller
+// holds s.mu.
+func (s *Store) append(rec record, sync bool) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding record: %w", err)
+	}
+	if _, err := s.enc.Write(line); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.enc.WriteByte('\n'); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.enc.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if sync && !s.opts.NoSync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	s.appends++
+	if s.appends >= s.opts.CompactEvery {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// AddJob records a newly accepted job under the daemon's id. It is a
+// commit point (fsynced).
+func (s *Store) AddJob(id uint64, spec fleet.Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.jobs[id]; dup {
+		return fmt.Errorf("store: job %d already exists", id)
+	}
+	spec.OnCheckpoint, spec.OnResult, spec.Resume = nil, nil, nil
+	if !s.apply(record{T: "job", Job: id, Spec: &spec}) {
+		return fmt.Errorf("store: invalid job %d", id)
+	}
+	return s.append(record{T: "job", Job: id, Spec: &spec}, true)
+}
+
+// RecordChip records one chip's completion. It is a commit point
+// (fsynced): a chip never re-runs after its record hits the journal.
+func (s *Store) RecordChip(id uint64, chip ChipRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs[id] == nil {
+		return fmt.Errorf("store: unknown job %d", id)
+	}
+	rec := record{T: "chip", Job: id, Chip: &chip}
+	s.apply(rec)
+	return s.append(rec, true)
+}
+
+// RecordCheckpoint records a chip's latest snapshot blob. It is not a
+// commit point: losing a checkpoint to an OS crash costs re-simulation
+// from the previous one, never correctness.
+func (s *Store) RecordCheckpoint(id, seed uint64, ticks int, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return fmt.Errorf("store: unknown job %d", id)
+	}
+	if _, done := j.Chips[seed]; done {
+		return nil
+	}
+	rec := record{T: "ckpt", Job: id, Seed: seed, Ticks: ticks, Blob: blob}
+	s.apply(rec)
+	return s.append(rec, false)
+}
+
+// MarkJobDone records job completion at the given wall-clock time and
+// drops the job's now-useless checkpoints. It is a commit point.
+func (s *Store) MarkJobDone(id uint64, completedUnix int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs[id] == nil {
+		return fmt.Errorf("store: unknown job %d", id)
+	}
+	rec := record{T: "done", Job: id, CompletedUnix: completedUnix}
+	s.apply(rec)
+	return s.append(rec, true)
+}
+
+// EvictJob removes a job outright. It is a commit point; compaction
+// later reclaims the space.
+func (s *Store) EvictJob(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs[id] == nil {
+		return fmt.Errorf("store: unknown job %d", id)
+	}
+	rec := record{T: "evict", Job: id}
+	s.apply(rec)
+	return s.append(rec, true)
+}
+
+// Jobs returns every live job in acceptance order. The records share no
+// mutable state with the store (maps are copied).
+func (s *Store) Jobs() []JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].clone())
+	}
+	return out
+}
+
+// Job returns one job's record by id.
+func (s *Store) Job(id uint64) (JobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobRecord{}, false
+	}
+	return j.clone(), true
+}
+
+// MaxID returns the highest live job id (0 when empty), so a daemon can
+// continue its id sequence across restarts.
+func (s *Store) MaxID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max uint64
+	for id := range s.jobs {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+func (j *JobRecord) clone() JobRecord {
+	out := *j
+	out.Chips = make(map[uint64]ChipRecord, len(j.Chips))
+	for k, v := range j.Chips {
+		out.Chips[k] = v
+	}
+	out.Checkpoints = make(map[uint64][]byte, len(j.Checkpoints))
+	for k, v := range j.Checkpoints {
+		out.Checkpoints[k] = v
+	}
+	out.CheckpointTicks = make(map[uint64]int, len(j.CheckpointTicks))
+	for k, v := range j.CheckpointTicks {
+		out.CheckpointTicks[k] = v
+	}
+	return out
+}
+
+// Compact rewrites the journal to hold exactly the current state:
+// per live job its spec, chip records, surviving checkpoints, and
+// completion mark. The rewrite goes to a temporary file which is
+// fsynced and atomically renamed over the journal.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	if err := s.enc.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpPath := filepath.Join(s.dir, JournalName+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	writeRec := func(rec record) error {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		return w.WriteByte('\n')
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		spec := j.Spec
+		if err := writeRec(record{T: "job", Job: id, Spec: &spec}); err != nil {
+			return fail(err)
+		}
+		for _, seed := range sortedSeeds(j.Chips) {
+			chip := j.Chips[seed]
+			if err := writeRec(record{T: "chip", Job: id, Chip: &chip}); err != nil {
+				return fail(err)
+			}
+		}
+		for _, seed := range sortedBlobSeeds(j.Checkpoints) {
+			if err := writeRec(record{T: "ckpt", Job: id, Seed: seed,
+				Ticks: j.CheckpointTicks[seed], Blob: j.Checkpoints[seed]}); err != nil {
+				return fail(err)
+			}
+		}
+		if j.Completed {
+			if err := writeRec(record{T: "done", Job: id, CompletedUnix: j.CompletedUnix}); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if !s.opts.NoSync {
+		if err := tmp.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	path := filepath.Join(s.dir, JournalName)
+	if err := os.Rename(tmpPath, path); err != nil {
+		return fail(err)
+	}
+	if !s.opts.NoSync {
+		if dir, err := os.Open(s.dir); err == nil {
+			dir.Sync()
+			dir.Close()
+		}
+	}
+	// Reopen the journal handle on the new file.
+	s.f.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopening compacted journal: %w", err)
+	}
+	s.f = f
+	s.enc = bufio.NewWriter(f)
+	s.appends = 0
+	return nil
+}
+
+// Close flushes and closes the journal.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.enc.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := s.f.Sync(); err != nil {
+			s.f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return s.f.Close()
+}
+
+func sortedSeeds(m map[uint64]ChipRecord) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedBlobSeeds(m map[uint64][]byte) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

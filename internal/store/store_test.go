@@ -1,0 +1,366 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"eccspec/internal/fleet"
+	"eccspec/internal/trace"
+)
+
+func testOpts() Options { return Options{NoSync: true} }
+
+func sampleSpec() fleet.Job {
+	return fleet.Job{
+		Seeds:           []uint64{10, 11, 12},
+		Workload:        "gcc",
+		Seconds:         0.5,
+		TraceEvery:      5,
+		CheckpointEvery: 50,
+	}
+}
+
+func sampleChip(seed uint64) ChipRecord {
+	rec := trace.NewRecorder(fleet.TraceColumns...)
+	rec.Add(0.001, 0.79, 0.78, 0.02, 31.5)
+	rec.Add(0.002, 0.785, 0.775, 0.031, 31.2)
+	return FromResult(fleet.ChipResult{
+		Seed:         seed,
+		NominalV:     0.8,
+		AvgReduction: 0.18,
+		DomainVdd:    []float64{0.655, 0.66, 0.67, 0.675},
+		UncoreVdd:    0.8,
+		AvgPowerW:    31.25,
+		Ticks:        500,
+		Trace:        rec,
+	})
+}
+
+// TestRecoverAcrossReopen writes jobs, chips, checkpoints and a
+// completion, reopens the store, and expects identical state back.
+func TestRecoverAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddJob(1, sampleSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddJob(2, sampleSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordChip(1, sampleChip(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordCheckpoint(1, 11, 100, []byte("blob-11-100")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordCheckpoint(1, 11, 150, []byte("blob-11-150")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordChip(2, sampleChip(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordChip(2, sampleChip(11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordChip(2, sampleChip(12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkJobDone(2, 1754500000); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Jobs()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	after := r.Jobs()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("state differs after reopen:\nbefore: %+v\nafter:  %+v", before, after)
+	}
+
+	j1, ok := r.Job(1)
+	if !ok {
+		t.Fatal("job 1 missing")
+	}
+	if got := string(j1.Checkpoints[11]); got != "blob-11-150" {
+		t.Fatalf("checkpoint for seed 11 = %q, want latest", got)
+	}
+	if j1.CheckpointTicks[11] != 150 {
+		t.Fatalf("checkpoint ticks = %d, want 150", j1.CheckpointTicks[11])
+	}
+	if _, done := j1.Chips[10]; !done {
+		t.Fatal("chip 10 completion lost")
+	}
+	j2, _ := r.Job(2)
+	if !j2.Completed || j2.CompletedUnix != 1754500000 {
+		t.Fatalf("job 2 completion lost: %+v", j2)
+	}
+	if len(j2.Checkpoints) != 0 {
+		t.Fatal("completed job retains checkpoints")
+	}
+	if r.MaxID() != 2 {
+		t.Fatalf("MaxID = %d, want 2", r.MaxID())
+	}
+}
+
+// TestCorruptTailTruncation simulates a crash mid-append: a torn final
+// line must be dropped on recovery and the journal usable afterwards.
+func TestCorruptTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddJob(1, sampleSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordChip(1, sampleChip(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, JournalName)
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tails := map[string][]byte{
+		"torn line":                  []byte(`{"t":"chip","job":1,"chip":{"se`),
+		"garbage":                    {0xFF, 0x00, 0x13, 0x37},
+		"valid JSON, invalid record": []byte(`{"t":"chip","job":99}` + "\n"),
+		"unknown kind":               []byte(`{"t":"wat","job":1}` + "\n"),
+	}
+	for name, tail := range tails {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, append(append([]byte(nil), intact...), tail...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			r, err := Open(dir, testOpts())
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			jobs := r.Jobs()
+			if len(jobs) != 1 || len(jobs[0].Chips) != 1 {
+				t.Fatalf("recovered state wrong: %+v", jobs)
+			}
+			// The journal must have been truncated back to the good
+			// prefix, and stay appendable.
+			if err := r.RecordChip(1, sampleChip(11)); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Close(); err != nil {
+				t.Fatal(err)
+			}
+			rr, err := Open(dir, testOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, _ := rr.Job(1)
+			if len(j.Chips) != 2 {
+				t.Fatalf("append after recovery lost: %+v", j)
+			}
+			rr.Close()
+			// Restore the two-record journal for the next subtest.
+			if err := os.WriteFile(path, intact, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCompaction drops superseded checkpoints and evicted jobs from the
+// journal while preserving state exactly.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddJob(1, sampleSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddJob(2, sampleSpec()); err != nil {
+		t.Fatal(err)
+	}
+	for ticks := 10; ticks <= 1000; ticks += 10 {
+		if err := s.RecordCheckpoint(1, 11, ticks, bytes.Repeat([]byte("x"), 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.EvictJob(2); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Jobs()
+	path := filepath.Join(dir, JournalName)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfter := fileSize(t, path)
+	after := s.Jobs()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("compaction changed live state")
+	}
+	// 100 superseded checkpoints collapse to 1: the compacted journal
+	// must be far smaller than 100 blob records.
+	if sizeAfter > 4096 {
+		t.Fatalf("compacted journal is %d bytes, expected the superseded checkpoints gone", sizeAfter)
+	}
+	// Appends still work after the handle swap, and survive a reopen.
+	if err := s.RecordChip(1, sampleChip(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	j, ok := r.Job(1)
+	if !ok || len(j.Chips) != 1 || string(j.Checkpoints[11]) == "" {
+		t.Fatalf("post-compaction state wrong: %+v", j)
+	}
+	if _, ok := r.Job(2); ok {
+		t.Fatal("evicted job resurrected by compaction")
+	}
+}
+
+// TestAutoCompaction verifies the append-count trigger fires without an
+// explicit Compact call.
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true, CompactEvery: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.AddJob(1, sampleSpec()); err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte("y"), 1024)
+	for i := 0; i < 200; i++ {
+		if err := s.RecordCheckpoint(1, 11, i+1, blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 200 checkpoint records would be >270 KB raw; auto-compaction must
+	// have kept the journal near one record's size.
+	if size := fileSize(t, filepath.Join(dir, JournalName)); size > 64*1024 {
+		t.Fatalf("journal is %d bytes; auto-compaction did not fire", size)
+	}
+	j, _ := s.Job(1)
+	if j.CheckpointTicks[11] != 200 {
+		t.Fatalf("latest checkpoint lost: %+v", j.CheckpointTicks)
+	}
+}
+
+// TestChipRecordRoundTrip converts results to records and back; the
+// fleet summary — the user-visible artifact — must be byte-identical.
+func TestChipRecordRoundTrip(t *testing.T) {
+	results := []fleet.ChipResult{
+		sampleMustResult(t, sampleChip(10)),
+		{Seed: 11, Err: errors.New("calibrate: domain 1 has no viable line")},
+		sampleMustResult(t, sampleChip(12)),
+	}
+	var recovered []fleet.ChipResult
+	for _, r := range results {
+		back, err := FromResult(r).ToResult()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recovered = append(recovered, back)
+	}
+	var a, b bytes.Buffer
+	if err := fleet.Summarize(results).Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Summarize(recovered).Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("summary differs after round-trip:\noriginal:\n%s\nrecovered:\n%s", a.String(), b.String())
+	}
+	var origCSV, backCSV bytes.Buffer
+	if err := results[0].Trace.WriteCSV(&origCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := recovered[0].Trace.WriteCSV(&backCSV); err != nil {
+		t.Fatal(err)
+	}
+	if origCSV.String() != backCSV.String() {
+		t.Fatal("trace differs after round-trip")
+	}
+}
+
+func sampleMustResult(t *testing.T, rec ChipRecord) fleet.ChipResult {
+	t.Helper()
+	r, err := rec.ToResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestInvalidOperations exercises the error paths.
+func TestInvalidOperations(t *testing.T) {
+	s, err := Open(t.TempDir(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.RecordChip(9, sampleChip(1)); err == nil {
+		t.Error("RecordChip accepted unknown job")
+	}
+	if err := s.RecordCheckpoint(9, 1, 1, []byte("b")); err == nil {
+		t.Error("RecordCheckpoint accepted unknown job")
+	}
+	if err := s.MarkJobDone(9, 0); err == nil {
+		t.Error("MarkJobDone accepted unknown job")
+	}
+	if err := s.EvictJob(9); err == nil {
+		t.Error("EvictJob accepted unknown job")
+	}
+	if err := s.AddJob(1, sampleSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddJob(1, sampleSpec()); err == nil {
+		t.Error("AddJob accepted duplicate id")
+	}
+	// Checkpoints for an already-finished chip are dropped silently.
+	if err := s.RecordChip(1, sampleChip(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordCheckpoint(1, 10, 50, []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := s.Job(1)
+	if _, ok := j.Checkpoints[10]; ok {
+		t.Error("stale checkpoint for finished chip retained")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}

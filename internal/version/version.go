@@ -1,0 +1,47 @@
+// Package version reports the build's version string: the value baked
+// in by the Makefile's -ldflags, or, failing that, whatever the Go
+// toolchain embedded in the binary's build info.
+package version
+
+import "runtime/debug"
+
+// version is stamped at link time:
+//
+//	-ldflags "-X eccspec/internal/version.version=v1.2.3"
+var version string
+
+// String returns the best available version identifier.
+func String() string {
+	if version != "" {
+		return version
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if v == "" || v == "(devel)" {
+			return rev + modified
+		}
+		return v + "+" + rev + modified
+	}
+	if v == "" {
+		return "unknown"
+	}
+	return v
+}

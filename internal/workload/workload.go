@@ -288,6 +288,20 @@ func New(p Profile, seed uint64) *Workload {
 // Elapsed returns the workload's accumulated runtime in seconds.
 func (w *Workload) Elapsed() float64 { return w.elapsed }
 
+// SnapshotState returns the workload's mutable state — elapsed runtime
+// and the noise stream position — for checkpointing. The footprint seed
+// is derived from the profile at construction and needs no capture.
+func (w *Workload) SnapshotState() (elapsed float64, noise uint64) {
+	return w.elapsed, w.noise.State()
+}
+
+// RestoreState positions the workload exactly where a SnapshotState
+// observation was taken, so subsequent Demand calls continue bit-exactly.
+func (w *Workload) RestoreState(elapsed float64, noise uint64) {
+	w.elapsed = elapsed
+	w.noise.SetState(noise)
+}
+
 // inHighPhase reports whether the workload is in its high-activity phase.
 func (w *Workload) inHighPhase() bool {
 	if w.P.PhaseSeconds <= 0 {
