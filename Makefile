@@ -8,7 +8,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X eccspec/internal/version.version=$(VERSION)"
 
-.PHONY: verify build test race vet bench all
+.PHONY: verify build test race vet bench staticcheck all
 
 all: verify
 
@@ -21,9 +21,16 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrent packages under the race detector.
+# The concurrent packages under the race detector, plus the run loop
+# they are built on (root Simulator and internal/engine).
 race:
-	$(GO) test -race ./internal/fleet/... ./cmd/eccspecd/...
+	$(GO) test -race . ./internal/engine/... ./internal/fleet/... ./cmd/eccspecd/...
+
+# Staticcheck without taking a module dependency: the CI image resolves
+# the tool at its pinned @latest; run `make staticcheck` locally when
+# the network allows.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@latest ./...
 
 # One iteration of every benchmark — a smoke test so bench code can't rot.
 bench:

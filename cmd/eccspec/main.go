@@ -376,16 +376,14 @@ func directRun(ctx context.Context, o directOptions) error {
 	}
 
 	ticks := int(o.Seconds / sim.TickSeconds())
-	ran := 0
-	for t := 0; t < ticks; t++ {
-		if ctx.Err() != nil {
-			fmt.Fprintf(os.Stderr, "eccspec: interrupted after %d/%d ticks; checkpoint still written\n", ran, ticks)
-			break
-		}
-		if !sim.Step() {
-			return fmt.Errorf("core died at tick %d: speculation drove a rail below the crash margin", sim.Ticks())
-		}
-		ran++
+	start := sim.Ticks()
+	rep, err := sim.RunEngine(ctx, ticks)
+	ran := rep.Tick - start
+	if rep.Stopped {
+		return fmt.Errorf("core died at tick %d: speculation drove a rail below the crash margin", sim.Ticks())
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eccspec: interrupted after %d/%d ticks; checkpoint still written\n", ran, ticks)
 	}
 
 	fmt.Printf("seed %d workload %s: ran %d ticks (%.4g s simulated, now at tick %d)\n",

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"eccspec/internal/engine"
 	"eccspec/internal/fleet"
 	"eccspec/internal/store"
 	"eccspec/internal/version"
@@ -385,6 +386,14 @@ func (s *server) runJob(j *fleetJob) {
 		}
 	}
 
+	// Live simulation telemetry: each chip's run carries a batched
+	// tick-counting observer feeding the Prometheus counter, so
+	// /metrics moves while fleets are in flight instead of jumping at
+	// job completion.
+	job.Observers = func(uint64) []engine.Observer {
+		return []engine.Observer{&engine.CountTicks{Add: func(delta int64) { s.metrics.simTicks.Add(delta) }}}
+	}
+
 	priorDone := len(prior)
 	s.mu.Lock()
 	j.ChipsDone = priorDone
@@ -418,7 +427,6 @@ func (s *server) runJob(j *fleetJob) {
 		}
 	}
 	sum := fleet.Summarize(results)
-	s.metrics.simTicks.Add(sum.TotalTicks)
 
 	s.mu.Lock()
 	j.Finished = s.now()

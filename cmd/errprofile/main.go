@@ -15,6 +15,8 @@ import (
 	"fmt"
 
 	"eccspec/internal/chip"
+	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/workload"
 )
 
@@ -36,14 +38,14 @@ func main() {
 	}
 
 	ticks := int(*seconds / c.P.TickSeconds)
-	for t := 0; t < ticks; t++ {
-		c.Step()
+	engine.Ticks(c, nil, ticks, func(_ int, _ chip.TickReport, _ []control.Action) bool {
 		for _, co := range c.Cores {
 			if !co.Alive() {
 				co.Revive() // keep characterizing, as a reboot loop would
 			}
 		}
-	}
+		return true
+	})
 
 	reported, suppressed := c.MCA.Counts()
 	fmt.Printf("chip seed %d at %.0f mV below nominal for %.1f s\n", *seed, *offsetMV, *seconds)

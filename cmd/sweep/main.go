@@ -15,6 +15,8 @@ import (
 	"os"
 
 	"eccspec/internal/chip"
+	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/workload"
 )
 
@@ -74,14 +76,14 @@ func sweep(c *chip.Chip, coreID, ticks int, seed uint64) result {
 			}
 		}
 		crashed := false
-		for t := 0; t < ticks && !crashed; t++ {
-			rep := c.Step()
+		engine.Ticks(c, nil, ticks, func(_ int, rep chip.TickReport, _ []control.Action) bool {
 			cr := rep.Cores[coreID]
 			if cr.CorrectedD+cr.CorrectedI+cr.CorrectedRF > 0 && out.firstErr == 0 {
 				out.firstErr = v
 			}
 			crashed = cr.Fatal
-		}
+			return !crashed
+		})
 		if crashed {
 			break
 		}

@@ -36,10 +36,10 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math"
 
 	"eccspec/internal/chip"
 	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/experiments"
 	"eccspec/internal/workload"
 )
@@ -143,15 +143,15 @@ func (s *Simulator) Step() bool {
 // Run simulates the given number of seconds under closed-loop
 // speculation and returns the number of ticks executed. It stops early
 // if a core dies (which, with calibration in place, indicates a
-// misconfigured experiment).
+// misconfigured experiment). Run is a thin wrapper over engine.Run; use
+// RunEngine to attach observers.
 func (s *Simulator) Run(seconds float64) int {
-	ticks := int(seconds / s.chip.P.TickSeconds)
-	for t := 0; t < ticks; t++ {
-		if !s.Step() {
-			return t + 1
-		}
-	}
-	return ticks
+	start := s.Ticks()
+	rep, _ := engine.Run(context.Background(), s, engine.Config{
+		Start: start,
+		Until: start + int(seconds/s.chip.P.TickSeconds),
+	})
+	return rep.Tick - start
 }
 
 // RunContext is Run with cooperative cancellation: it checks ctx
@@ -160,28 +160,34 @@ func (s *Simulator) Run(seconds float64) int {
 // actually done, so partial results (voltages, energy, error rates)
 // remain valid after an interrupted run.
 func (s *Simulator) RunContext(ctx context.Context, seconds float64) (int, error) {
-	ticks := int(seconds / s.chip.P.TickSeconds)
-	for t := 0; t < ticks; t++ {
-		select {
-		case <-ctx.Done():
-			return t, ctx.Err()
-		default:
-		}
-		if !s.Step() {
-			return t + 1, nil
-		}
-	}
-	return ticks, nil
+	start := s.Ticks()
+	rep, err := engine.Run(ctx, s, engine.Config{
+		Start: start,
+		Until: start + int(seconds/s.chip.P.TickSeconds),
+	})
+	return rep.Tick - start, err
+}
+
+// RunEngine exposes the canonical loop with observer composition: it
+// advances the simulator ticks control ticks from wherever it currently
+// stands, firing the observers each tick. See internal/engine for the
+// observer contract; the fleet engine, the CLI and the daemon all build
+// on this entry point.
+func (s *Simulator) RunEngine(ctx context.Context, ticks int, obs ...engine.Observer) (engine.Report, error) {
+	start := s.Ticks()
+	return engine.Run(ctx, s, engine.Config{
+		Start:     start,
+		Until:     start + ticks,
+		Observers: obs,
+	})
 }
 
 // TickSeconds returns the simulated duration of one control tick.
 func (s *Simulator) TickSeconds() float64 { return s.chip.P.TickSeconds }
 
-// Ticks returns the number of control ticks executed so far, recovered
-// from the accumulated simulated time.
-func (s *Simulator) Ticks() int {
-	return int(math.Round(s.chip.Time() / s.chip.P.TickSeconds))
-}
+// Ticks returns the number of control ticks executed so far, counted by
+// the chip's integer tick counter.
+func (s *Simulator) Ticks() int { return s.chip.Ticks() }
 
 // CoresAlive reports whether every core is still functioning; false
 // means speculation drove a rail below a core's crash margin.

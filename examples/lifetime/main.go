@@ -25,6 +25,7 @@ import (
 
 	"eccspec/internal/chip"
 	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/snapshot"
 	"eccspec/internal/workload"
 )
@@ -92,10 +93,7 @@ func main() {
 			log.Fatal(err)
 		}
 		// Re-converge the domain's rail after recalibration.
-		for t := 0; t < 800; t++ {
-			c.Step()
-			ctl.Tick()
-		}
+		engine.Ticks(c, ctl, 800, nil)
 		marker := ""
 		if i > 0 && (a.Core != prev.Core || a.Kind != prev.Kind ||
 			a.Set != prev.Set || a.Way != prev.Way) {

@@ -91,6 +91,10 @@ type Cache struct {
 	lines []line
 	clock uint64
 	stats Stats
+
+	// events is ReadLine's scratch, reused so steady-state monitor
+	// probing allocates nothing.
+	events []Event
 }
 
 // New constructs a cache for the given core (use -1 for shared caches)
@@ -226,7 +230,10 @@ func (c *Cache) WriteLine(set, way int, data [sram.WordsPerLine]uint64) {
 type ReadResult struct {
 	// Data is the decoded line contents (corrected where possible).
 	Data [sram.WordsPerLine]uint64
-	// Events lists the ECC events raised by this read.
+	// Events lists the ECC events raised by this read. The slice is
+	// scratch owned by the cache and is overwritten by its next
+	// ReadLine; callers that need events beyond the current read must
+	// copy them.
 	Events []Event
 	// Fatal is true when any word suffered an uncorrectable error.
 	Fatal bool
@@ -251,6 +258,7 @@ func (c *Cache) ReadLine(set, way int, v float64) ReadResult {
 		return res
 	}
 	// Inject the transient flips into per-word copies and decode.
+	res.Events = c.events[:0]
 	var corrupted [sram.WordsPerLine]ecc.Codeword
 	copy(corrupted[:], ln.words[:])
 	for _, pos := range flips {
@@ -275,6 +283,7 @@ func (c *Cache) ReadLine(set, way int, v float64) ReadResult {
 			res.Fatal = true
 		}
 	}
+	c.events = res.Events
 	return res
 }
 

@@ -260,11 +260,17 @@ type Chip struct {
 	MCA *mca.Log
 
 	time        float64
+	ticks       int
 	stream      *rng.Stream
 	uncoreVmin  float64
 	uncoreDead  bool
 	uncoreEff   float64
 	lastUncoreW float64
+
+	// Per-tick scratch reused across Steps so the steady-state loop
+	// allocates nothing.
+	repCores []CoreReport
+	demands  []workload.Demand
 }
 
 // New builds a chip from params.
@@ -314,7 +320,19 @@ func New(p Params) *Chip {
 }
 
 // Time returns the accumulated simulated time in seconds.
+//
+// Time is kept as its own float accumulator (time += TickSeconds each
+// Step) rather than derived as Ticks()*TickSeconds: the accumulated sum
+// differs from the product in the last ulp from the tenth tick on, and
+// recorded telemetry timestamps are full-precision, so switching the
+// derivation would silently change every trace ever compared against.
+// The integer counter is authoritative for Ticks(); the accumulator is
+// authoritative for Time().
 func (c *Chip) Time() float64 { return c.time }
+
+// Ticks returns the number of control ticks executed since construction
+// (or since the tick count restored by RestoreState).
+func (c *Chip) Ticks() int { return c.ticks }
 
 // DomainOf returns the voltage domain containing the core.
 func (c *Chip) DomainOf(coreID int) *Domain {
@@ -461,13 +479,24 @@ func (c *Chip) SensitivityFloor() float64 {
 	return c.P.Point.LogicVminMu - 4*c.P.Point.LogicVminSigma - 8*c.P.Point.WidthMax
 }
 
-// Step advances the chip by one control tick.
+// Step advances the chip by one control tick. The returned report's
+// Cores slice is scratch owned by the chip and is overwritten by the
+// next Step; callers that need a report beyond the current tick must
+// copy it.
 func (c *Chip) Step() TickReport {
 	dt := c.P.TickSeconds
-	rep := TickReport{Time: c.time, Cores: make([]CoreReport, len(c.Cores))}
+	if c.repCores == nil {
+		c.repCores = make([]CoreReport, len(c.Cores))
+		c.demands = make([]workload.Demand, len(c.Cores))
+	}
+	for i := range c.repCores {
+		c.repCores[i] = CoreReport{}
+		c.demands[i] = workload.Demand{}
+	}
+	rep := TickReport{Time: c.time, Cores: c.repCores}
 
 	// Phase 1: collect demands.
-	demands := make([]workload.Demand, len(c.Cores))
+	demands := c.demands
 	for i, co := range c.Cores {
 		if co.alive && co.wl != nil {
 			demands[i] = co.wl.Demand(dt)
@@ -579,6 +608,7 @@ func (c *Chip) Step() TickReport {
 	c.lastUncoreW = uw
 
 	c.time += dt
+	c.ticks++
 	return rep
 }
 

@@ -15,6 +15,7 @@ package chip
 
 import (
 	"fmt"
+	"math"
 
 	"eccspec/internal/mca"
 	"eccspec/internal/sram"
@@ -69,8 +70,12 @@ type DomainState struct {
 
 // State is the chip's full mutable state.
 type State struct {
-	TimeS  float64 `json:"time_s"`
-	Stream uint64  `json:"stream"`
+	TimeS float64 `json:"time_s"`
+	// Ticks is the integer control-tick counter. TimeS is kept
+	// alongside it (not derived) because the accumulated float time
+	// differs from Ticks*TickSeconds in the last ulp; see Chip.Time.
+	Ticks  int    `json:"ticks,omitempty"`
+	Stream uint64 `json:"stream"`
 
 	Cores   []CoreState   `json:"cores"`
 	Domains []DomainState `json:"domains"`
@@ -90,6 +95,7 @@ type State struct {
 func (c *Chip) CaptureState() State {
 	st := State{
 		TimeS:       c.time,
+		Ticks:       c.ticks,
 		Stream:      c.stream.State(),
 		UncoreRail:  RailState{TargetV: c.UncoreRail.Target()},
 		UncoreDead:  c.uncoreDead,
@@ -142,6 +148,13 @@ func (c *Chip) RestoreState(st State) error {
 		return fmt.Errorf("chip: state has %d domains, chip has %d", len(st.Domains), len(c.Domains))
 	}
 	c.time = st.TimeS
+	c.ticks = st.Ticks
+	if st.Ticks == 0 && st.TimeS > 0 {
+		// Legacy state from before the integer counter: reconstruct it
+		// from the accumulated time (exact for any realistic run
+		// length; the accumulated error stays far below half a tick).
+		c.ticks = int(math.Round(st.TimeS / c.P.TickSeconds))
+	}
 	c.stream.SetState(st.Stream)
 	c.UncoreRail.SetTarget(st.UncoreRail.TargetV)
 	c.uncoreDead = st.UncoreDead

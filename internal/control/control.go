@@ -180,6 +180,10 @@ type System struct {
 	assigns  map[int]Assignment
 	lastRate map[int]float64
 	uncore   *uncoreState
+
+	// acts is Tick's scratch, reused so the steady-state loop
+	// allocates nothing.
+	acts []Action
 }
 
 type monKey struct {
@@ -335,9 +339,11 @@ func (s *System) Calibrate() ([]Assignment, error) {
 // Tick runs one controller iteration: probe every domain's active
 // monitor at its current effective voltage and apply the floor/ceiling
 // policy. Call it after chip.Step. Domains without an active monitor are
-// skipped.
+// skipped. The returned slice is scratch owned by the system and is
+// overwritten by the next Tick; callers that need actions beyond the
+// current tick must copy them.
 func (s *System) Tick() []Action {
-	var out []Action
+	out := s.acts[:0]
 	if act, ok := s.tickUncore(); ok {
 		out = append(out, act)
 	}
@@ -381,5 +387,6 @@ func (s *System) Tick() []Action {
 		act.NewTarget = d.Rail.Target()
 		out = append(out, act)
 	}
+	s.acts = out
 	return out
 }

@@ -1,0 +1,181 @@
+package engine
+
+// Stock observers: the cross-cutting concerns the hand-rolled loops
+// used to wire inline — periodic actions, stop conditions, progress and
+// counter reporting — expressed as composable Observer values. Layers
+// with richer needs (snapshot checkpointing, trace sampling off a full
+// Simulator) build on Funcs and EveryN rather than re-implementing the
+// loop.
+
+import "time"
+
+// Funcs adapts plain functions to Observer; nil fields are no-ops.
+type Funcs struct {
+	Start func(v View) error
+	Tick  func(v View) error
+	Stop  func(v View, err error)
+}
+
+// OnStart implements Observer.
+func (f Funcs) OnStart(v View) error {
+	if f.Start == nil {
+		return nil
+	}
+	return f.Start(v)
+}
+
+// OnTick implements Observer.
+func (f Funcs) OnTick(v View) error {
+	if f.Tick == nil {
+		return nil
+	}
+	return f.Tick(v)
+}
+
+// OnStop implements Observer.
+func (f Funcs) OnStop(v View, err error) {
+	if f.Stop != nil {
+		f.Stop(v, err)
+	}
+}
+
+// EveryN invokes Fn after every N-th completed tick (absolute tick
+// numbering, so a resumed run fires on the same boundaries as an
+// uninterrupted one). N <= 0 disables it.
+type EveryN struct {
+	N  int
+	Fn func(v View) error
+}
+
+// OnStart implements Observer.
+func (e EveryN) OnStart(View) error { return nil }
+
+// OnTick implements Observer.
+func (e EveryN) OnTick(v View) error {
+	if e.N <= 0 || v.Tick%e.N != 0 {
+		return nil
+	}
+	return e.Fn(v)
+}
+
+// OnStop implements Observer.
+func (e EveryN) OnStop(View, error) {}
+
+// StopWhen ends the run cleanly (ErrStop) once the predicate holds —
+// an error-rate ceiling, a convergence test, any condition readable
+// off the View.
+type StopWhen func(v View) bool
+
+// OnStart implements Observer.
+func (s StopWhen) OnStart(View) error { return nil }
+
+// OnTick implements Observer.
+func (s StopWhen) OnTick(v View) error {
+	if s(v) {
+		return ErrStop
+	}
+	return nil
+}
+
+// OnStop implements Observer.
+func (s StopWhen) OnStop(View, error) {}
+
+// Deadline ends the run cleanly once wall-clock time exceeds the
+// budget, checking the clock every CheckEvery ticks (default 1000) to
+// keep time.Now off the hot path.
+type Deadline struct {
+	Budget     time.Duration
+	CheckEvery int
+
+	start time.Time
+}
+
+// OnStart implements Observer.
+func (d *Deadline) OnStart(View) error {
+	d.start = time.Now()
+	return nil
+}
+
+// OnTick implements Observer.
+func (d *Deadline) OnTick(v View) error {
+	every := d.CheckEvery
+	if every <= 0 {
+		every = 1000
+	}
+	if v.Tick%every != 0 {
+		return nil
+	}
+	if time.Since(d.start) > d.Budget {
+		return ErrStop
+	}
+	return nil
+}
+
+// OnStop implements Observer.
+func (d *Deadline) OnStop(View, error) {}
+
+// Progress reports run progress through Fn(done, total) every Every
+// ticks and once more at stop. done counts ticks completed this run
+// (relative to Start), total the ticks requested.
+type Progress struct {
+	Every int
+	Fn    func(done, total int)
+
+	start int
+}
+
+// OnStart implements Observer.
+func (p *Progress) OnStart(v View) error {
+	p.start = v.Tick
+	return nil
+}
+
+// OnTick implements Observer.
+func (p *Progress) OnTick(v View) error {
+	if p.Every > 0 && (v.Tick-p.start)%p.Every == 0 {
+		p.Fn(v.Tick-p.start, v.Until-p.start)
+	}
+	return nil
+}
+
+// OnStop implements Observer.
+func (p *Progress) OnStop(v View, _ error) {
+	p.Fn(v.Tick-p.start, v.Until-p.start)
+}
+
+// CountTicks batches completed-tick counts into Add — typically an
+// atomic counter behind a Prometheus metric — every Every ticks
+// (default 256), flushing the remainder at stop. Batching keeps the
+// shared counter off the per-tick path when many chips run in
+// parallel.
+type CountTicks struct {
+	Every int
+	Add   func(delta int64)
+
+	pending int64
+}
+
+// OnStart implements Observer.
+func (c *CountTicks) OnStart(View) error { return nil }
+
+// OnTick implements Observer.
+func (c *CountTicks) OnTick(View) error {
+	c.pending++
+	every := int64(c.Every)
+	if every <= 0 {
+		every = 256
+	}
+	if c.pending >= every {
+		c.Add(c.pending)
+		c.pending = 0
+	}
+	return nil
+}
+
+// OnStop implements Observer.
+func (c *CountTicks) OnStop(View, error) {
+	if c.pending > 0 {
+		c.Add(c.pending)
+		c.pending = 0
+	}
+}

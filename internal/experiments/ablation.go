@@ -5,6 +5,7 @@ import (
 
 	"eccspec/internal/chip"
 	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/stats"
 	"eccspec/internal/workload"
 )
@@ -65,17 +66,13 @@ func runAblationConfig(o Options, cp chip.Params, cc control.Config) (ablationOu
 	}
 	converge := o.scale(1500, 200)
 	measure := o.scale(1500, 200)
-	for t := 0; t < converge; t++ {
-		c.Step()
-		ctl.Tick()
-	}
+	engine.Ticks(c, ctl, converge, nil)
 	var out ablationOutcome
 	var targets []float64
 	decisions, holds := 0, 0
 	dom0 := make([]float64, 0, measure)
-	for t := 0; t < measure; t++ {
-		c.Step()
-		for _, a := range ctl.Tick() {
+	engine.Ticks(c, ctl, measure, func(_ int, _ chip.TickReport, acts []control.Action) bool {
+		for _, a := range acts {
 			if a.Kind != control.Pending {
 				decisions++
 				if a.Kind == control.Hold {
@@ -84,7 +81,8 @@ func runAblationConfig(o Options, cp chip.Params, cc control.Config) (ablationOu
 			}
 		}
 		dom0 = append(dom0, c.Domains[0].Rail.Target())
-	}
+		return true
+	})
 	nominal := cp.Point.NominalVdd
 	out.minTarget = nominal
 	for _, d := range c.Domains {

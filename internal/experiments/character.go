@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"eccspec/internal/chip"
+	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/stats"
 	"eccspec/internal/workload"
 )
@@ -43,8 +45,7 @@ func sweepCore(c *chip.Chip, coreID int, ticksPerLevel int, seed uint64) coreSwe
 			}
 		}
 		crashed := false
-		for t := 0; t < ticksPerLevel && !crashed; t++ {
-			rep := c.Step()
+		engine.Ticks(c, nil, ticksPerLevel, func(_ int, rep chip.TickReport, _ []control.Action) bool {
 			cr := rep.Cores[coreID]
 			out.ErrD += cr.CorrectedD
 			out.ErrI += cr.CorrectedI
@@ -53,7 +54,8 @@ func sweepCore(c *chip.Chip, coreID int, ticksPerLevel int, seed uint64) coreSwe
 				out.FirstErrV = v
 			}
 			crashed = cr.Fatal
-		}
+			return !crashed
+		})
 		if crashed {
 			break
 		}
@@ -223,15 +225,15 @@ func fig3Sweep(o Options, low bool, maxOffset float64) ([]float64, []float64) {
 		}
 		errs := make([]int, len(c.Cores))
 		dead := make([]bool, len(c.Cores))
-		for t := 0; t < ticksPerLevel; t++ {
-			rep := c.Step()
+		engine.Ticks(c, nil, ticksPerLevel, func(_ int, rep chip.TickReport, _ []control.Action) bool {
 			for i, cr := range rep.Cores {
 				errs[i] += cr.CorrectedD + cr.CorrectedI + cr.CorrectedRF
 				if cr.Fatal {
 					dead[i] = true
 				}
 			}
-		}
+			return true
+		})
 		// Average across cores still active at this level (§II-B).
 		var sum float64
 		n := 0
@@ -332,8 +334,7 @@ func runFig4(o Options) (*Result, error) {
 		for _, co := range c.Cores {
 			co.Revive()
 		}
-		for t := 0; t < runTicks; t++ {
-			rep := c.Step()
+		engine.Ticks(c, nil, runTicks, func(_ int, rep chip.TickReport, _ []control.Action) bool {
 			for _, id := range targets {
 				errD[id] += rep.Cores[id].CorrectedD
 				errI[id] += rep.Cores[id].CorrectedI
@@ -345,7 +346,8 @@ func runFig4(o Options) (*Result, error) {
 					co.Revive()
 				}
 			}
-		}
+			return true
+		})
 	}
 
 	tbl := NewTextTable("core", "data cache errors", "instr cache errors")

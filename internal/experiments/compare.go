@@ -6,6 +6,7 @@ import (
 	"eccspec/internal/alt"
 	"eccspec/internal/chip"
 	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/firmware"
 )
 
@@ -45,19 +46,21 @@ func runCompare(o Options) (*Result, error) {
 		c := chip.New(params)
 		assignSuite(c, "SPECint", o.Seed)
 		step := adapt(c)
-		for t := 0; t < converge; t++ {
-			step(c.Step())
-		}
+		engine.Ticks(c, nil, converge, func(_ int, rep chip.TickReport, _ []control.Action) bool {
+			step(rep)
+			return true
+		})
 		for _, co := range c.Cores {
 			co.ResetAccounting()
 		}
 		sumV := 0.0
-		for t := 0; t < measure; t++ {
-			step(c.Step())
+		engine.Ticks(c, nil, measure, func(_ int, rep chip.TickReport, _ []control.Action) bool {
+			step(rep)
 			for _, d := range c.Domains {
 				sumV += d.Rail.Target()
 			}
-		}
+			return true
+		})
 		out := compareOutcome{name: name}
 		out.avgV = sumV / float64(measure*len(c.Domains))
 		out.reduction = 1 - out.avgV/c.P.Point.NominalVdd

@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	"eccspec/internal/chip"
 	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/firmware"
 	"eccspec/internal/stats"
 	"eccspec/internal/trace"
@@ -42,15 +44,15 @@ func runSuiteSW(o Options, suite string) (energyPerWork float64, err error) {
 	assignSuite(c, suite, o.Seed)
 	converge := o.scale(1500, 200)
 	measure := o.scale(2500, 300)
-	for t := 0; t < converge; t++ {
-		fw.Adapt(c.Step())
+	adapt := func(_ int, rep chip.TickReport, _ []control.Action) bool {
+		fw.Adapt(rep)
+		return true
 	}
+	engine.Ticks(c, nil, converge, adapt)
 	for _, co := range c.Cores {
 		co.ResetAccounting()
 	}
-	for t := 0; t < measure; t++ {
-		fw.Adapt(c.Step())
-	}
+	engine.Ticks(c, nil, measure, adapt)
 	var e, w float64
 	for i, co := range c.Cores {
 		if !co.Alive() {
@@ -119,13 +121,13 @@ func runFig18(o Options) (*Result, error) {
 			c.Cores[0].ResetAccounting()
 			c.Cores[0].SetOverheadFraction(0)
 			crashed := false
-			for t := 0; t < measure && !crashed; t++ {
-				rep := c.Step()
+			engine.Ticks(c, nil, measure, func(_ int, rep chip.TickReport, _ []control.Action) bool {
 				if software {
 					fw.ApplyOverhead(rep)
 				}
 				crashed = rep.Cores[0].Fatal
-			}
+				return !crashed
+			})
 			if crashed {
 				break
 			}

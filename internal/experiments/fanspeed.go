@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/server"
 	"eccspec/internal/workload"
 )
@@ -45,11 +46,12 @@ func runFanSpeed(o Options) (*Result, error) {
 		}
 		ctls = append(ctls, ctl)
 	}
-	tick := func() {
+	tick := func(int) bool {
 		blade.Step()
 		for _, ctl := range ctls {
 			ctl.Tick()
 		}
+		return true
 	}
 	converge := o.scale(2000, 250)
 	measure := o.scale(1500, 200)
@@ -60,30 +62,27 @@ func runFanSpeed(o Options) (*Result, error) {
 			sums = append(sums, 0, 0, 0, 0)
 		}
 		tempSum := 0.0
-		for t := 0; t < measure; t++ {
-			tick()
+		engine.Loop(measure, func(t int) bool {
+			tick(t)
 			for ci, c := range blade.Chips {
 				for di, d := range c.Domains {
 					sums[ci*4+di] += d.Rail.Target()
 				}
 			}
 			tempSum += blade.Chips[0].Cores[0].Temperature()
-		}
+			return true
+		})
 		for i := range sums {
 			sums[i] /= float64(measure)
 		}
 		return sums, tempSum / float64(measure)
 	}
 
-	for t := 0; t < converge; t++ {
-		tick()
-	}
+	engine.Loop(converge, tick)
 	coolV, coolT := record()
 
 	blade.SetFanSpeed(0.15)
-	for t := 0; t < converge; t++ {
-		tick()
-	}
+	engine.Loop(converge, tick)
 	hotV, hotT := record()
 
 	maxShift := 0.0

@@ -5,6 +5,7 @@ import (
 
 	"eccspec/internal/chip"
 	"eccspec/internal/control"
+	"eccspec/internal/engine"
 )
 
 func init() {
@@ -40,21 +41,17 @@ func runFreqScale(o Options) (*Result, error) {
 		if _, err := ctl.Calibrate(); err != nil {
 			return nil, fmt.Errorf("%.0f MHz: %w", f/1e6, err)
 		}
-		for t := 0; t < converge; t++ {
-			c.Step()
-			ctl.Tick()
-		}
+		engine.Ticks(c, ctl, converge, nil)
 		for _, co := range c.Cores {
 			co.ResetAccounting()
 		}
 		sumV := 0.0
-		for t := 0; t < measure; t++ {
-			c.Step()
-			ctl.Tick()
+		engine.Ticks(c, ctl, measure, func(_ int, _ chip.TickReport, _ []control.Action) bool {
 			for _, d := range c.Domains {
 				sumV += d.Rail.Target()
 			}
-		}
+			return true
+		})
 		avgV := sumV / float64(measure*len(c.Domains))
 		nominal := params.Point.NominalVdd
 		reduction := 1 - avgV/nominal
@@ -62,9 +59,7 @@ func runFreqScale(o Options) (*Result, error) {
 		// Power relative to the same chip at its own nominal.
 		b := chip.New(params)
 		assignSuite(b, "SPECint", o.Seed)
-		for t := 0; t < measure; t++ {
-			b.Step()
-		}
+		engine.Ticks(b, nil, measure, nil)
 		var pSpec, pBase float64
 		for i, co := range c.Cores {
 			if !co.Alive() {

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 
+	"eccspec/internal/chip"
 	"eccspec/internal/control"
+	"eccspec/internal/engine"
 )
 
 func init() {
@@ -44,21 +46,17 @@ func runMethodology(o Options) (*Result, error) {
 		}
 		converge := o.scale(1500, 200)
 		measure := o.scale(1500, 200)
-		for t := 0; t < converge; t++ {
-			c.Step()
-			ctl.Tick()
-		}
+		engine.Ticks(c, ctl, converge, nil)
 		for _, co := range c.Cores {
 			co.ResetAccounting()
 		}
 		sums := make([]float64, len(c.Domains))
-		for t := 0; t < measure; t++ {
-			c.Step()
-			ctl.Tick()
+		engine.Ticks(c, ctl, measure, func(_ int, _ chip.TickReport, _ []control.Action) bool {
 			for d := range c.Domains {
 				sums[d] += c.Domains[d].Rail.Target()
 			}
-		}
+			return true
+		})
 		var out outcome
 		var e, w float64
 		for d := range sums {

@@ -5,6 +5,7 @@ import (
 
 	"eccspec/internal/chip"
 	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/stats"
 	"eccspec/internal/trace"
 	"eccspec/internal/workload"
@@ -52,17 +53,12 @@ func runFig14(o Options) (*Result, error) {
 			return nil, nil, nil, nil, err
 		}
 		converge := o.scale(1200, 200)
-		for t := 0; t < converge; t++ {
-			c.Step()
-			ctl.Tick()
-		}
+		engine.Ticks(c, ctl, converge, nil)
 		ticks := o.scale(12000, 1200) // 120 simulated seconds
 		rec := trace.NewRecorder("vdd", "errRate")
 		var vHigh, vLow, vEff []float64
 		kernel := c.Cores[1].Workload()
-		for t := 0; t < ticks; t++ {
-			c.Step()
-			acts := ctl.Tick()
+		engine.Ticks(c, ctl, ticks, func(_ int, _ chip.TickReport, acts []control.Action) bool {
 			for _, a := range acts {
 				if a.Domain == 0 && a.Kind != control.Pending {
 					rec.Add(c.Time(), a.NewTarget, a.ErrorRate)
@@ -81,7 +77,8 @@ func runFig14(o Options) (*Result, error) {
 			// telemetry reports; its average is lower in the loaded-
 			// main-core case.
 			vEff = append(vEff, c.Domains[0].LastEffective())
-		}
+			return true
+		})
 		if !c.Cores[0].Alive() || !c.Cores[1].Alive() {
 			return nil, nil, nil, nil, fmt.Errorf("experiments: crash during fig14 (mainFP=%v)", mainFP)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"eccspec/internal/chip"
 	"eccspec/internal/control"
+	"eccspec/internal/engine"
 )
 
 func init() {
@@ -47,20 +48,14 @@ func runPareto(o Options) (*Result, error) {
 				if _, err := ctl.Calibrate(); err != nil {
 					return 0, 0, err
 				}
-				for t := 0; t < converge; t++ {
-					c.Step()
-					ctl.Tick()
-				}
+				engine.Ticks(c, ctl, converge, nil)
 			}
 			for _, co := range c.Cores {
 				co.ResetAccounting()
 			}
-			for t := 0; t < measure; t++ {
-				c.Step()
-				if speculate {
-					ctl.Tick()
-				}
-			}
+			// ctl is nil in the baseline run, which Ticks treats as
+			// "no controller".
+			engine.Ticks(c, ctl, measure, nil)
 			var e float64
 			for i, co := range c.Cores {
 				if !co.Alive() {

@@ -5,6 +5,7 @@ import (
 
 	"eccspec/internal/chip"
 	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/rng"
 	"eccspec/internal/sram"
 	"eccspec/internal/workload"
@@ -69,10 +70,7 @@ func runSoak(o Options) (*Result, error) {
 			}
 		}
 
-		for t := 0; t < converge; t++ {
-			c.Step()
-			ctl.Tick()
-		}
+		engine.Ticks(c, ctl, converge, nil)
 		for _, name := range phases {
 			p, ok := workload.ByName(name)
 			if !ok {
@@ -81,16 +79,15 @@ func runSoak(o Options) (*Result, error) {
 			for _, co := range c.Cores {
 				co.SetWorkload(p, seed)
 			}
-			for t := 0; t < phaseTicks; t++ {
-				rep := c.Step()
-				ctl.Tick()
+			engine.Ticks(c, ctl, phaseTicks, func(_ int, rep chip.TickReport, _ []control.Action) bool {
 				for _, cr := range rep.Cores {
 					if cr.Fatal {
 						crashes++
 						c.Cores[cr.CoreID].Revive()
 					}
 				}
-			}
+				return true
+			})
 		}
 		coreSeconds += c.Time() * float64(len(c.Cores))
 

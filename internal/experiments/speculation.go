@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	"eccspec/internal/chip"
 	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/stats"
 	"eccspec/internal/trace"
 	"eccspec/internal/workload"
@@ -69,21 +71,17 @@ func runSuiteHW(o Options, suite string) (suiteRun, error) {
 	}
 	converge := o.scale(1500, 200)
 	measure := o.scale(2500, 300)
-	for t := 0; t < converge; t++ {
-		c.Step()
-		ctl.Tick()
-	}
+	engine.Ticks(c, ctl, converge, nil)
 	for _, co := range c.Cores {
 		co.ResetAccounting()
 	}
 	sumV := make([]float64, len(c.Cores))
-	for t := 0; t < measure; t++ {
-		c.Step()
-		ctl.Tick()
+	engine.Ticks(c, ctl, measure, func(_ int, _ chip.TickReport, _ []control.Action) bool {
 		for i := range c.Cores {
 			sumV[i] += c.DomainOf(i).Rail.Target()
 		}
-	}
+		return true
+	})
 	run := suiteRun{Suite: suite, CoreV: make([]float64, len(c.Cores))}
 	var eSpec, wSpec float64
 	for i, co := range c.Cores {
@@ -100,9 +98,7 @@ func runSuiteHW(o Options, suite string) (suiteRun, error) {
 	// Baseline run: identical chip and workloads at nominal voltage.
 	b := newChip(o, true)
 	assignSuite(b, suite, o.Seed)
-	for t := 0; t < measure; t++ {
-		b.Step()
-	}
+	engine.Ticks(b, nil, measure, nil)
 	var eBase, wBase float64
 	for _, co := range b.Cores {
 		run.PowerBase += co.AveragePower()
@@ -200,17 +196,12 @@ func runFig12(o Options) (*Result, error) {
 
 	converge := o.scale(1200, 200)
 	half := o.scale(5000, 500)
-	for t := 0; t < converge; t++ {
-		c.Step()
-		ctl.Tick()
-	}
+	engine.Ticks(c, ctl, converge, nil)
 	rec := trace.NewRecorder("vdd", "errRate")
 	inBand, decisions := 0, 0
 	var mcfV, craftyV []float64
 	runHalf := func(collect *[]float64) {
-		for t := 0; t < half; t++ {
-			c.Step()
-			acts := ctl.Tick()
+		engine.Ticks(c, ctl, half, func(_ int, _ chip.TickReport, acts []control.Action) bool {
 			for _, a := range acts {
 				if a.Domain != 0 {
 					continue
@@ -224,7 +215,8 @@ func runFig12(o Options) (*Result, error) {
 				}
 			}
 			*collect = append(*collect, c.Domains[0].Rail.Target())
-		}
+			return true
+		})
 	}
 	runHalf(&mcfV)
 	c.Cores[0].SetWorkload(crafty, o.Seed) // context switch

@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	"eccspec/internal/chip"
 	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/stats"
 )
 
@@ -39,24 +41,20 @@ func runUncoreSpec(o Options) (*Result, error) {
 				return 0, 0, 0, err
 			}
 		}
-		for t := 0; t < converge; t++ {
-			c.Step()
-			ctl.Tick()
-		}
+		engine.Ticks(c, ctl, converge, nil)
 		for _, co := range c.Cores {
 			co.ResetAccounting()
 		}
 		e0 := c.TotalEnergy()
 		t0 := c.Time()
 		var sumCore, sumUncore float64
-		for t := 0; t < measure; t++ {
-			c.Step()
-			ctl.Tick()
+		engine.Ticks(c, ctl, measure, func(_ int, _ chip.TickReport, _ []control.Action) bool {
 			for _, d := range c.Domains {
 				sumCore += d.Rail.Target()
 			}
 			sumUncore += c.UncoreRail.Target()
-		}
+			return true
+		})
 		if !c.UncoreAlive() {
 			return 0, 0, 0, fmt.Errorf("experiments: uncore died under speculation")
 		}

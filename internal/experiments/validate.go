@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 
+	"eccspec/internal/chip"
+	"eccspec/internal/control"
+	"eccspec/internal/engine"
 	"eccspec/internal/variation"
 	"eccspec/internal/workload"
 )
@@ -32,13 +35,13 @@ func runValidate(o Options) (*Result, error) {
 		co.SetWorkload(workload.StressTest(), o.Seed)
 		c.DomainOf(0).Rail.SetTarget(v)
 		total := 0
-		for t := 0; t < ticks; t++ {
-			rep := c.Step()
+		engine.Ticks(c, nil, ticks, func(_ int, rep chip.TickReport, _ []control.Action) bool {
 			total += rep.Cores[0].CorrectedD
 			if rep.Cores[0].Fatal {
 				co.Revive()
 			}
-		}
+			return true
+		})
 		// The statistical path samples at the *effective* voltage; the
 		// replayer below is driven at the same effective level.
 		return float64(total) / (float64(ticks) * c.P.TickSeconds), nil
@@ -61,9 +64,10 @@ func runValidate(o Options) (*Result, error) {
 			c.Cores[0].Hier.L2D, variation.KindL2D, o.Seed)
 		veff := effectiveOf(v)
 		total := 0
-		for t := 0; t < ticks; t++ {
+		engine.Loop(ticks, func(int) bool {
 			total += r.Tick(dt, veff)
-		}
+			return true
+		})
 		return float64(total) / (float64(ticks) * dt)
 	}
 

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"eccspec"
+	"eccspec/internal/engine"
 	"eccspec/internal/snapshot"
 	"eccspec/internal/trace"
 	"eccspec/internal/workload"
@@ -73,6 +74,12 @@ type Job struct {
 	// calibration and continues from the captured tick; the completed
 	// run is byte-identical to one that was never interrupted.
 	Resume map[uint64][]byte `json:"-"`
+	// Observers, when set, supplies extra engine observers for each
+	// chip's run — live metrics, custom stop conditions — composed
+	// after the job's own trace and checkpoint observers. It is called
+	// once per chip and may be called concurrently from worker
+	// goroutines; the returned observers are used by one run only.
+	Observers func(seed uint64) []engine.Observer `json:"-"`
 }
 
 // Validate checks a Job before any simulation is built.
@@ -286,32 +293,39 @@ func simulateChip(ctx context.Context, job Job, seed uint64) (res ChipResult) {
 		}
 	}
 
-	// One tick loop handles tracing and checkpointing together so the
-	// modulo boundaries stay aligned across an interruption: tick t of a
-	// resumed run is tick t of the uninterrupted run.
+	// One engine run carries tracing and checkpointing as observers on
+	// absolute tick numbering, so the modulo boundaries stay aligned
+	// across an interruption: tick t of a resumed run is tick t of the
+	// uninterrupted run.
 	ticks := int(job.Seconds / sim.TickSeconds())
-	res.Ticks = start
-	for t := start; t < ticks; t++ {
-		select {
-		case <-ctx.Done():
-			res.Ticks = t
-			res.Err = ctx.Err()
-			return res
-		default:
-		}
-		alive := sim.Step()
-		res.Ticks = t + 1
-		if job.TraceEvery > 0 && (t+1)%job.TraceEvery == 0 {
+	var obs []engine.Observer
+	if job.TraceEvery > 0 {
+		obs = append(obs, engine.EveryN{N: job.TraceEvery, Fn: func(engine.View) error {
 			res.Trace.Add(sim.Time(), traceSample(sim)...)
-		}
-		if job.CheckpointEvery > 0 && job.OnCheckpoint != nil && (t+1)%job.CheckpointEvery == 0 && t+1 < ticks {
-			if blob, err := checkpointBlob(sim, res.Trace); err == nil {
-				job.OnCheckpoint(seed, t+1, blob)
+			return nil
+		}})
+	}
+	if job.CheckpointEvery > 0 && job.OnCheckpoint != nil {
+		obs = append(obs, engine.EveryN{N: job.CheckpointEvery, Fn: func(v engine.View) error {
+			if v.Tick >= v.Until {
+				// The final tick's state is the result itself; no
+				// checkpoint needed.
+				return nil
 			}
-		}
-		if !alive {
-			break
-		}
+			if blob, err := checkpointBlob(sim, res.Trace); err == nil {
+				job.OnCheckpoint(seed, v.Tick, blob)
+			}
+			return nil
+		}})
+	}
+	if job.Observers != nil {
+		obs = append(obs, job.Observers(seed)...)
+	}
+	rep, err := engine.Run(ctx, sim, engine.Config{Start: start, Until: ticks, Observers: obs})
+	res.Ticks = rep.Tick
+	if err != nil {
+		res.Err = err
+		return res
 	}
 
 	if !sim.CoresAlive() {

@@ -120,6 +120,10 @@ type Array struct {
 
 	profiles map[int]*Profile
 	stream   *rng.Stream
+
+	// flips is SampleFlips' scratch, reused so steady-state fault
+	// sampling allocates nothing.
+	flips []int
 }
 
 // NewArray constructs an SRAM array backed by the given variation model.
@@ -229,12 +233,14 @@ func (a *Array) scanLine(set, way int) *Profile {
 
 // SampleFlips simulates one read of the line at effective voltage v and
 // returns the positions (0..575) of the bits that flip on this access.
-// The returned slice is nil when nothing flips — the overwhelmingly
-// common case at safe voltages.
+// The returned slice is empty when nothing flips — the overwhelmingly
+// common case at safe voltages — and is scratch owned by the array,
+// overwritten by the next SampleFlips; callers that need the positions
+// beyond the current access must copy them.
 func (a *Array) SampleFlips(set, way int, v float64) []int {
 	p := a.LineProfile(set, way)
 	vEff := v - a.Model.TempShift(a.tempC)
-	var flips []int
+	flips := a.flips[:0]
 	for _, b := range p.Bits {
 		pf := variation.FlipProbability(b.Vcrit, b.Width, vEff)
 		if pf <= 0 {
@@ -252,6 +258,7 @@ func (a *Array) SampleFlips(set, way int, v float64) []int {
 			flips = append(flips, b.Pos)
 		}
 	}
+	a.flips = flips
 	return flips
 }
 
