@@ -8,7 +8,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X eccspec/internal/version.version=$(VERSION)"
 
-.PHONY: verify build test race vet bench staticcheck all
+.PHONY: verify build test race vet bench staticcheck chaos fuzz-smoke all
 
 all: verify
 
@@ -35,6 +35,17 @@ staticcheck:
 # One iteration of every benchmark — a smoke test so bench code can't rot.
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Chaos smoke: every fault-injection and chaos suite, twice, so any
+# nondeterminism in the replayability contract fails the build.
+chaos:
+	$(GO) test ./... -run 'Chaos|Fault' -count=2
+
+# Short fuzz passes over the corruption-facing decoders; the seeded
+# corpora alone already cover the real capture formats.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzSnapshotRestore -fuzztime=10s -run '^$$' ./internal/snapshot
+	$(GO) test -fuzz=FuzzJournalRecover -fuzztime=10s -run '^$$' ./internal/store
 
 vet:
 	$(GO) vet ./...

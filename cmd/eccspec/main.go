@@ -9,6 +9,8 @@
 //	eccspec run -resume f [-seconds S] [-checkpoint f2]
 //	eccspec seeds <id> [-n N]    # distribution across chip specimens
 //	eccspec report [-fast]       # Markdown summary of every experiment
+//	eccspec chaos list           # fault-injection scenario catalog
+//	eccspec chaos <scenario>     # replay a scenario deterministically
 //	eccspec version
 //
 // Each experiment id corresponds to one table or figure of the paper
@@ -78,6 +80,8 @@ func runCtx(ctx context.Context, args []string) error {
 		return seedsCmd(ctx, args[1:])
 	case "report":
 		return reportCmd(ctx, args[1:])
+	case "chaos":
+		return chaosCmd(ctx, args[1:])
 	case "version", "-version", "--version":
 		fmt.Printf("eccspec %s\n", version.String())
 		return nil
@@ -362,9 +366,13 @@ func directRun(ctx context.Context, o directOptions) error {
 		fmt.Printf("resumed seed %d (%s) at tick %d\n",
 			sim.Opts().Seed, sim.Opts().Workload, st.Ticks)
 	} else {
-		sim = eccspec.NewSimulator(eccspec.Options{
+		var err error
+		sim, err = eccspec.NewSimulator(eccspec.Options{
 			Seed: o.Seed, FullGeometry: o.Full, Workload: o.Workload,
 		})
+		if err != nil {
+			return err
+		}
 		if err := sim.Calibrate(); err != nil {
 			return fmt.Errorf("calibrate: %w", err)
 		}
@@ -417,5 +425,7 @@ func usage() {
   eccspec run -resume f [-seconds S] [-checkpoint f2]
   eccspec seeds <id> [-n N] [-full] [-fast=false]
   eccspec report [-seed N] [-full] [-fast]
+  eccspec chaos list
+  eccspec chaos <scenario>|-plan f [-seed N] [-seconds S] [-workload W]
   eccspec version`)
 }

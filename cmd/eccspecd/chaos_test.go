@@ -1,0 +1,290 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"eccspec/internal/fleet"
+	"eccspec/internal/store"
+)
+
+// postRaw submits a fleet and returns the full response (the degraded
+// tests need headers, not just the decoded body).
+func postRaw(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/fleets", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	json.NewDecoder(resp.Body).Decode(&m)
+	return resp, m
+}
+
+func metricsText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestChaosDegradedModeRoundTrip drives the daemon through a journal
+// outage in-process: writes start failing, a submission gets 503 +
+// Retry-After and flips the daemon degraded (healthz + metrics agree,
+// recorded results stay served), then the disk heals and the next
+// submission both clears the flag and is accepted.
+func TestChaosDegradedModeRoundTrip(t *testing.T) {
+	var failing atomic.Bool
+	st, err := store.Open(t.TempDir(), store.Options{
+		WriteHook: func(op string) error {
+			if failing.Load() {
+				return errors.New("injected journal outage")
+			}
+			return nil
+		},
+		Retry: store.RetryPolicy{MaxAttempts: 2},
+		Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := newServer(fleet.New(fleet.Config{Workers: 2}), serverConfig{queueDepth: 4, store: st})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Healthy: a fleet runs to completion and is recorded.
+	resp, sub := postRaw(t, ts.URL, `{"seeds":[91],"seconds":0.02}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("healthy submit: HTTP %d: %v", resp.StatusCode, sub)
+	}
+	id := sub["id"].(string)
+	if st := waitDone(t, ts, id); st["status"] != statusDone {
+		t.Fatalf("healthy fleet finished as %v", st["status"])
+	}
+
+	// Outage: the journal refuses every write.
+	failing.Store(true)
+	resp, body := postRaw(t, ts.URL, `{"seeds":[92],"seconds":0.02}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded submit: HTTP %d: %v, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 missing Retry-After")
+	}
+	if code, h := getJSON(t, ts.URL+"/healthz"); code != http.StatusOK || h["status"] != "degraded" || h["degraded"] != true {
+		t.Fatalf("healthz while degraded: %d %v", code, h)
+	}
+	if m := metricsText(t, ts.URL); !strings.Contains(m, "eccspecd_degraded 1") {
+		t.Fatalf("metrics do not report degraded:\n%s", m)
+	}
+	// Recorded results stay available throughout the outage.
+	if code, res := getJSON(t, ts.URL+"/v1/fleets/"+id+"/results"); code != http.StatusOK || res["failed"] != float64(0) {
+		t.Fatalf("results during outage: HTTP %d: %v", code, res)
+	}
+	// The failed submission must leave no phantom job behind.
+	if code, list := getJSON(t, ts.URL+"/v1/fleets"); code != http.StatusOK {
+		t.Fatalf("list during outage: HTTP %d", code)
+	} else if fleets, _ := list["fleets"].([]any); len(fleets) != 1 {
+		t.Fatalf("phantom job after failed submit: %v", list)
+	}
+
+	// Heal: the next submission is the recovery probe — accepted, flag
+	// cleared.
+	failing.Store(false)
+	resp, sub = postRaw(t, ts.URL, `{"seeds":[93],"seconds":0.02}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("healed submit: HTTP %d: %v", resp.StatusCode, sub)
+	}
+	if code, h := getJSON(t, ts.URL+"/healthz"); code != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("healthz after heal: %d %v", code, h)
+	}
+	if m := metricsText(t, ts.URL); !strings.Contains(m, "eccspecd_degraded 0") {
+		t.Fatalf("metrics still degraded after heal:\n%s", m)
+	}
+	if st := waitDone(t, ts, sub["id"].(string)); st["status"] != statusDone {
+		t.Fatalf("healed fleet finished as %v", st["status"])
+	}
+}
+
+// TestChaosSubmitBodyLimit sends an oversized POST body and expects a
+// 413 JSON error instead of an unbounded read.
+func TestChaosSubmitBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t)
+	big := `{"seeds":[` + strings.Repeat("1,", maxBodyBytes/2) + `1],"seconds":0.02}`
+	resp, body := postRaw(t, ts.URL, big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: HTTP %d: %v, want 413", resp.StatusCode, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "exceeds") {
+		t.Fatalf("413 body = %v", body)
+	}
+}
+
+// makeUnwritable forces the store's journal to reject write-opens while
+// staying readable, surviving even a root test runner (chmod first,
+// chattr +i as the root fallback). Returns false if the environment
+// supports neither.
+func makeUnwritable(t *testing.T, dir string) bool {
+	t.Helper()
+	journal := filepath.Join(dir, store.JournalName)
+	writable := func() bool {
+		f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return false
+		}
+		f.Close()
+		return true
+	}
+	if err := os.Chmod(journal, 0o444); err == nil {
+		t.Cleanup(func() { os.Chmod(journal, 0o644) })
+		if !writable() {
+			return true
+		}
+	}
+	// Root ignores permission bits; the immutable flag stops even root.
+	if err := exec.Command("chattr", "+i", journal).Run(); err != nil {
+		return false
+	}
+	t.Cleanup(func() { exec.Command("chattr", "-i", journal).Run() })
+	return !writable()
+}
+
+// TestChaosSurvivabilitySubprocess is the robustness acceptance test:
+// one daemon process is driven through a planned worker panic and a
+// journal error burst and must finish the fleet with a per-chip error,
+// reflect both events in /metrics, and exit cleanly on SIGTERM; a
+// second daemon then starts against the same data dir gone read-only
+// and must serve the recorded results in degraded mode, refuse new
+// fleets with 503 + Retry-After, and again exit cleanly.
+func TestChaosSurvivabilitySubprocess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+
+	// Fault plan: chip 82's worker panics at tick 30; journal operations
+	// 2-4 fail (the ops right after the job-accept commit), so the first
+	// chip record must ride the burst out through the bounded retry.
+	plan := filepath.Join(dir, "plan.json")
+	planJSON := `{"seed":7,"faults":[
+		{"kind":"worker-panic","chip":82,"start":30},
+		{"kind":"store-error","start":2,"duration":3},
+		{"kind":"store-slow","start":6,"duration":1,"delay_ms":1}
+	]}`
+	if err := os.WriteFile(plan, []byte(planJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data := filepath.Join(dir, "data")
+
+	d := startDaemon(t, "-data-dir "+data+" -checkpoint-interval 0 -chaos-plan "+plan)
+	code, sub := d.post(t, "/v1/fleets", `{"seeds":[81,82,83],"seconds":0.05}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, sub)
+	}
+	id := sub["id"].(string)
+	if st := d.waitStatus(t, id); st["status"] != statusDone {
+		t.Fatalf("fleet finished as %v (panic must not take the job down)", st["status"])
+	}
+
+	code, body := d.get(t, "/v1/fleets/"+id+"/results")
+	if code != http.StatusOK {
+		t.Fatalf("results: HTTP %d", code)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res["failed"] != float64(1) {
+		t.Fatalf("failed = %v, want exactly the panicked chip", res["failed"])
+	}
+	for _, pc := range res["per_chip"].([]any) {
+		chip := pc.(map[string]any)
+		errMsg, _ := chip["error"].(string)
+		if chip["seed"] == float64(82) {
+			if !strings.Contains(errMsg, "worker panic") {
+				t.Fatalf("chip 82 error = %q, want the recovered panic", errMsg)
+			}
+		} else if errMsg != "" {
+			t.Fatalf("healthy chip %v failed: %s", chip["seed"], errMsg)
+		}
+	}
+
+	code, mBody := d.get(t, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	metrics := string(mBody)
+	for _, want := range []string{
+		"eccspecd_chips_failed_total 1",
+		"eccspecd_store_retries_total 1",
+		"eccspecd_degraded 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	// Graceful exit despite everything the plan threw at the process.
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited non-gracefully after chaos run: %v", err)
+	}
+
+	// --- Read-only data dir: recover, serve, refuse, exit cleanly. ---
+	if !makeUnwritable(t, data) {
+		t.Skip("cannot make the journal unwritable in this environment")
+	}
+	d2 := startDaemon(t, "-data-dir "+data)
+	code, body = d2.get(t, "/healthz")
+	var h map[string]any
+	json.Unmarshal(body, &h)
+	if code != http.StatusOK || h["status"] != "degraded" {
+		t.Fatalf("healthz on read-only dir: %d %v", code, h)
+	}
+	code, roBody := d2.get(t, "/v1/fleets/"+id+"/results")
+	if code != http.StatusOK {
+		t.Fatalf("read-only results: HTTP %d", code)
+	}
+	var roRes map[string]any
+	if err := json.Unmarshal(roBody, &roRes); err != nil {
+		t.Fatal(err)
+	}
+	if roRes["chips"] != float64(3) || roRes["failed"] != float64(1) {
+		t.Fatalf("recovered results wrong: %v", roRes)
+	}
+	resp, errBody := postRaw(t, "http://"+d2.addr, `{"seeds":[99],"seconds":0.02}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("read-only submit: HTTP %d: %v, want 503", resp.StatusCode, errBody)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("read-only 503 missing Retry-After")
+	}
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.cmd.Wait(); err != nil {
+		t.Fatalf("read-only daemon exited non-gracefully: %v", err)
+	}
+}

@@ -7,7 +7,7 @@
 //
 //	eccspecd [-addr host:port] [-workers N] [-queue N] [-drain-timeout D]
 //	         [-data-dir DIR] [-checkpoint-interval N]
-//	         [-retention D] [-max-jobs N] [-version]
+//	         [-retention D] [-max-jobs N] [-chaos-plan FILE] [-version]
 //
 // With -data-dir, the daemon journals every accepted job, per-chip
 // result, and periodic simulator checkpoint to DIR/journal.jsonl with
@@ -17,6 +17,16 @@
 // checkpoint — producing final results byte-identical to an
 // uninterrupted run. -retention and -max-jobs bound memory by evicting
 // old completed jobs.
+//
+// The daemon degrades rather than dies when the journal stops taking
+// writes: if the data dir cannot be opened for writing it is recovered
+// read-only, and whenever a commit fails past the store's bounded
+// retries the daemon keeps serving recorded results while answering new
+// submissions with 503 + Retry-After until writes succeed again
+// (watch eccspecd_degraded in /metrics). -chaos-plan arms a
+// deterministic fault-injection plan (see internal/faultinject) against
+// every run — simulated hardware faults and journal I/O faults alike —
+// for resilience testing.
 //
 // Endpoints:
 //
@@ -44,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"eccspec/internal/faultinject"
 	"eccspec/internal/fleet"
 	"eccspec/internal/store"
 	"eccspec/internal/version"
@@ -63,6 +74,8 @@ func main() {
 		"evict completed jobs this long after they finish (0 = keep forever)")
 	maxJobs := flag.Int("max-jobs", 0,
 		"max completed jobs retained, oldest evicted first (0 = unlimited)")
+	chaosPlan := flag.String("chaos-plan", "",
+		"JSON fault-injection plan applied to every run (see internal/faultinject)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -71,13 +84,14 @@ func main() {
 		return
 	}
 	if err := run(*addr, *workers, *queue, *drainTimeout,
-		*dataDir, *checkpointInterval, *retention, *maxJobs); err != nil {
+		*dataDir, *checkpointInterval, *retention, *maxJobs, *chaosPlan); err != nil {
 		log.Fatalf("eccspecd: %v", err)
 	}
 }
 
 func run(addr string, workers, queueDepth int, drainTimeout time.Duration,
-	dataDir string, checkpointInterval int, retention time.Duration, maxJobs int) error {
+	dataDir string, checkpointInterval int, retention time.Duration, maxJobs int,
+	chaosPlan string) error {
 	engine := fleet.New(fleet.Config{Workers: workers})
 
 	cfg := serverConfig{
@@ -86,10 +100,34 @@ func run(addr string, workers, queueDepth int, drainTimeout time.Duration,
 		retention:       retention,
 		maxJobs:         maxJobs,
 	}
-	if dataDir != "" {
-		st, err := store.Open(dataDir, store.Options{})
+	var storeOpts store.Options
+	if chaosPlan != "" {
+		plan, err := faultinject.LoadPlan(chaosPlan)
 		if err != nil {
 			return err
+		}
+		in, err := faultinject.New(plan)
+		if err != nil {
+			return err
+		}
+		cfg.injector = in
+		storeOpts.WriteHook = in.StoreHook()
+		storeOpts.Retry.JitterSeed = plan.Seed
+		log.Printf("eccspecd: chaos plan %s armed (%d faults, seed %d)",
+			chaosPlan, len(plan.Faults), plan.Seed)
+	}
+	if dataDir != "" {
+		st, err := store.Open(dataDir, storeOpts)
+		if err != nil {
+			// A data dir we cannot write (permissions, full or failing
+			// disk) must not keep recorded results hostage: fall back to
+			// read-only recovery and serve them in degraded mode.
+			ro, roErr := store.OpenReadOnly(dataDir)
+			if roErr != nil {
+				return err
+			}
+			log.Printf("eccspecd: %v; recovered journal read-only", err)
+			st = ro
 		}
 		defer st.Close()
 		cfg.store = st
@@ -103,7 +141,17 @@ func run(addr string, workers, queueDepth int, drainTimeout time.Duration,
 	}
 	log.Printf("eccspecd: %s listening on %s (%d sim workers)", version.String(), ln.Addr(), engine.Workers())
 
-	hs := &http.Server{Handler: s.Handler()}
+	// Slow-client protection: a stalled or malicious peer must not pin
+	// connections (and eventually file descriptors) forever. Writes get
+	// the most room — result payloads for large fleets take a while on
+	// slow links.
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

@@ -17,14 +17,16 @@ type metrics struct {
 	jobsFailed     atomic.Int64
 	jobsEvicted    atomic.Int64
 	chipsSimulated atomic.Int64
+	chipsFailed    atomic.Int64
 	simTicks       atomic.Int64
 }
 
 func newMetrics() *metrics { return &metrics{start: time.Now()} }
 
 // write renders the Prometheus text exposition format (version 0.0.4).
-// queued and running are the current job-table gauges.
-func (m *metrics) write(w io.Writer, queued, running int) {
+// queued and running are the current job-table gauges; degraded and
+// storeRetries reflect journal health at scrape time.
+func (m *metrics) write(w io.Writer, queued, running int, degraded bool, storeRetries int64) {
 	up := time.Since(m.start).Seconds()
 	ticks := m.simTicks.Load()
 	rate := 0.0
@@ -44,6 +46,13 @@ func (m *metrics) write(w io.Writer, queued, running int) {
 	counter("eccspecd_jobs_failed_total", "Fleet jobs that failed or were cancelled.", m.jobsFailed.Load())
 	counter("eccspecd_jobs_evicted_total", "Completed fleet jobs evicted by the retention policy.", m.jobsEvicted.Load())
 	counter("eccspecd_chips_simulated_total", "Chip simulations completed.", m.chipsSimulated.Load())
+	counter("eccspecd_chips_failed_total", "Chip simulations that ended in an error (including recovered worker panics).", m.chipsFailed.Load())
+	counter("eccspecd_store_retries_total", "Journal commit points that needed the bounded-retry path.", storeRetries)
+	degradedV := 0.0
+	if degraded {
+		degradedV = 1
+	}
+	gauge("eccspecd_degraded", "1 while the journal is unwritable and new fleets get 503s.", degradedV)
 	counter("eccspecd_sim_ticks_total", "Control ticks simulated across all fleets.", ticks)
 	gauge("eccspecd_sim_ticks_per_second", "Lifetime average simulation throughput.", rate)
 	gauge("eccspecd_uptime_seconds", "Seconds since the daemon started.", up)

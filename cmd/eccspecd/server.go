@@ -3,15 +3,18 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eccspec/internal/engine"
+	"eccspec/internal/faultinject"
 	"eccspec/internal/fleet"
 	"eccspec/internal/store"
 	"eccspec/internal/version"
@@ -20,6 +23,14 @@ import (
 // maxFleetChips bounds a single submission so one request cannot pin
 // the daemon's memory with millions of per-chip results.
 const maxFleetChips = 4096
+
+// maxBodyBytes bounds a request body; a fleet submission within the
+// chip cap fits comfortably in 1 MiB.
+const maxBodyBytes = 1 << 20
+
+// degradedRetryAfter is the Retry-After hint sent with 503s while the
+// journal is unwritable.
+const degradedRetryAfter = "30"
 
 // Job lifecycle states.
 const (
@@ -100,6 +111,9 @@ type serverConfig struct {
 	// maxJobs caps retained completed jobs, evicting the oldest first;
 	// 0 disables the cap.
 	maxJobs int
+	// injector, when non-nil, delivers a chaos plan's simulated-hardware
+	// faults into every chip run (-chaos-plan).
+	injector *faultinject.Injector
 	// now substitutes the clock (tests); nil selects time.Now.
 	now func() time.Time
 }
@@ -125,6 +139,12 @@ type server struct {
 	order    []string
 	nextID   uint64
 	draining bool
+
+	// degraded is set while the journal cannot take writes (persistent
+	// I/O failure or a read-only data dir): existing results keep being
+	// served, new submissions get 503 + Retry-After, and the flag clears
+	// on the next successful commit.
+	degraded atomic.Bool
 
 	queue      chan *fleetJob
 	runnerDone chan struct{}
@@ -156,6 +176,10 @@ func newServer(engine *fleet.Engine, cfg serverConfig) *server {
 	// job must fit back into it without blocking startup.
 	var resume []*fleetJob
 	if cfg.store != nil {
+		if cfg.store.ReadOnly() {
+			s.degraded.Store(true)
+			log.Printf("eccspecd: data dir is read-only; serving existing results only (degraded)")
+		}
 		resume = s.recover()
 	}
 	depth := cfg.queueDepth
@@ -325,6 +349,20 @@ func (s *server) drained() <-chan struct{} { return s.runnerDone }
 // cancelJobs aborts in-flight simulation (drain-timeout escape hatch).
 func (s *server) cancelJobs() { s.cancelRun() }
 
+// noteStore tracks journal health from commit outcomes: any write error
+// (after the store's own bounded retries) flips the daemon into degraded
+// mode, the next success lifts it. Returns err for convenience.
+func (s *server) noteStore(err error) error {
+	if err != nil {
+		if !s.degraded.Swap(true) {
+			log.Printf("eccspecd: journal write failed; entering degraded mode: %v", err)
+		}
+	} else if s.degraded.Swap(false) {
+		log.Printf("eccspecd: journal writes recovered; leaving degraded mode")
+	}
+	return err
+}
+
 // runner executes queued fleets one at a time; each fleet fans its
 // chips out across the engine's worker pool.
 func (s *server) runner() {
@@ -370,7 +408,7 @@ func (s *server) runJob(j *fleetJob) {
 		}
 		job.CheckpointEvery = s.cfg.checkpointEvery
 		job.OnCheckpoint = func(seed uint64, ticks int, blob []byte) {
-			if err := st.RecordCheckpoint(j.Num, seed, ticks, blob); err != nil {
+			if err := s.noteStore(st.RecordCheckpoint(j.Num, seed, ticks, blob)); err != nil {
 				log.Printf("eccspecd: checkpointing %s seed %d: %v", j.ID, seed, err)
 			}
 		}
@@ -380,7 +418,7 @@ func (s *server) runJob(j *fleetJob) {
 			if res.Err != nil {
 				return
 			}
-			if err := st.RecordChip(j.Num, store.FromResult(res)); err != nil {
+			if err := s.noteStore(st.RecordChip(j.Num, store.FromResult(res))); err != nil {
 				log.Printf("eccspecd: recording %s seed %d: %v", j.ID, res.Seed, err)
 			}
 		}
@@ -389,9 +427,13 @@ func (s *server) runJob(j *fleetJob) {
 	// Live simulation telemetry: each chip's run carries a batched
 	// tick-counting observer feeding the Prometheus counter, so
 	// /metrics moves while fleets are in flight instead of jumping at
-	// job completion.
-	job.Observers = func(uint64) []engine.Observer {
-		return []engine.Observer{&engine.CountTicks{Add: func(delta int64) { s.metrics.simTicks.Add(delta) }}}
+	// job completion. A configured chaos plan rides the same hook.
+	job.Observers = func(seed uint64) []engine.Observer {
+		obs := []engine.Observer{&engine.CountTicks{Add: func(delta int64) { s.metrics.simTicks.Add(delta) }}}
+		if in := s.cfg.injector; in != nil {
+			obs = append(obs, in.Observer(seed))
+		}
+		return obs
 	}
 
 	priorDone := len(prior)
@@ -408,6 +450,11 @@ func (s *server) runJob(j *fleetJob) {
 			j.ChipsDone = priorDone + done
 			s.mu.Unlock()
 		})
+	}
+	for _, r := range fresh {
+		if r.Err != nil {
+			s.metrics.chipsFailed.Add(1)
+		}
 	}
 
 	// Merge stored and fresh results back into submission seed order so
@@ -452,7 +499,7 @@ func (s *server) runJob(j *fleetJob) {
 	// A cancelled job is deliberately NOT marked done: a restarted
 	// daemon re-enqueues it and continues from its checkpoints.
 	if s.cfg.store != nil && status != statusCanceled {
-		if err := s.cfg.store.MarkJobDone(j.Num, finished.Unix()); err != nil {
+		if err := s.noteStore(s.cfg.store.MarkJobDone(j.Num, finished.Unix())); err != nil {
 			log.Printf("eccspecd: marking %s done: %v", j.ID, err)
 		}
 	}
@@ -475,7 +522,14 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req fleetRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -501,12 +555,19 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Submitted: s.now(),
 	}
 	// Persist the accepted job before acknowledging it: once the client
-	// sees 202, a daemon crash no longer loses the submission.
+	// sees 202, a daemon crash no longer loses the submission. A commit
+	// failure (the store has already burned its retry budget, or is
+	// read-only) flips the daemon degraded and answers 503 + Retry-After;
+	// the store rolls the job back out of memory, so nothing phantom
+	// remains on either side. The attempt doubles as the recovery probe:
+	// the first submission the healed journal commits clears the flag.
 	if s.cfg.store != nil {
-		if err := s.cfg.store.AddJob(j.Num, job); err != nil {
+		if err := s.noteStore(s.cfg.store.AddJob(j.Num, job)); err != nil {
 			s.nextID--
 			s.mu.Unlock()
-			writeError(w, http.StatusInternalServerError, "persisting job: %v", err)
+			w.Header().Set("Retry-After", degradedRetryAfter)
+			writeError(w, http.StatusServiceUnavailable,
+				"degraded: persisting job: %v; existing results remain available", err)
 			return
 		}
 	}
@@ -732,8 +793,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	var retries int64
+	if s.cfg.store != nil {
+		retries = s.cfg.store.Retries()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, queued, running)
+	s.metrics.write(w, queued, running, s.degraded.Load(), retries)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -741,12 +806,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	status := "ok"
-	if draining {
+	switch {
+	case draining:
 		status = "draining"
+	case s.degraded.Load():
+		status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     status,
 		"version":    version.String(),
 		"persistent": s.cfg.store != nil,
+		"degraded":   s.degraded.Load(),
 	})
 }

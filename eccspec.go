@@ -22,7 +22,8 @@
 //
 // # Quick start
 //
-//	sim := eccspec.NewSimulator(eccspec.Options{Seed: 42})
+//	sim, err := eccspec.NewSimulator(eccspec.Options{Seed: 42})
+//	if err != nil { ... }
 //	if err := sim.Calibrate(); err != nil { ... }
 //	sim.Run(2.0) // simulate two seconds under closed-loop speculation
 //	fmt.Printf("domain 0 now at %.3f V\n", sim.DomainVoltage(0))
@@ -34,8 +35,10 @@ package eccspec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"eccspec/internal/chip"
 	"eccspec/internal/control"
@@ -43,6 +46,11 @@ import (
 	"eccspec/internal/experiments"
 	"eccspec/internal/workload"
 )
+
+// ErrUnknownWorkload is returned by NewSimulator when Options.Workload
+// names no known benchmark profile. Use errors.Is to test for it; the
+// wrapped message lists the valid names.
+var ErrUnknownWorkload = errors.New("eccspec: unknown workload")
 
 // Options selects the simulated platform.
 type Options struct {
@@ -72,17 +80,19 @@ type Simulator struct {
 
 // NewSimulator builds a chip and its control system and assigns the
 // configured workload to every core. The rails start at nominal; call
-// Calibrate and then Run to engage speculation.
-func NewSimulator(o Options) *Simulator {
-	c := chip.New(chip.DefaultParams(o.Seed, !o.HighVoltagePoint, o.FullGeometry))
+// Calibrate and then Run to engage speculation. An unrecognized
+// Options.Workload returns an error wrapping ErrUnknownWorkload.
+func NewSimulator(o Options) (*Simulator, error) {
 	name := o.Workload
 	if name == "" {
 		name = workload.StressTest().Name
 	}
 	p, ok := workload.ByName(name)
 	if !ok {
-		panic(fmt.Sprintf("eccspec: unknown workload %q", name))
+		return nil, fmt.Errorf("%w %q (valid: %s)", ErrUnknownWorkload, name,
+			strings.Join(workload.Names(), ", "))
 	}
+	c := chip.New(chip.DefaultParams(o.Seed, !o.HighVoltagePoint, o.FullGeometry))
 	for _, co := range c.Cores {
 		co.SetWorkload(p, o.Seed)
 	}
@@ -91,7 +101,7 @@ func NewSimulator(o Options) *Simulator {
 		opts: o,
 		chip: c,
 		ctl:  control.New(c, control.DefaultConfig()),
-	}
+	}, nil
 }
 
 // Opts returns the options the simulator was built from, with the

@@ -1,6 +1,7 @@
 package eccspec_test
 
 import (
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -9,7 +10,10 @@ import (
 )
 
 func TestSimulatorLifecycle(t *testing.T) {
-	sim := eccspec.NewSimulator(eccspec.Options{Seed: 42})
+	sim, err := eccspec.NewSimulator(eccspec.Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sim.NumCores() != 8 || sim.NumDomains() != 4 {
 		t.Fatalf("topology %d cores / %d domains", sim.NumCores(), sim.NumDomains())
 	}
@@ -50,30 +54,37 @@ func TestSimulatorLifecycle(t *testing.T) {
 }
 
 func TestMonitorErrorRateBeforeCalibration(t *testing.T) {
-	sim := eccspec.NewSimulator(eccspec.Options{Seed: 7})
+	sim, err := eccspec.NewSimulator(eccspec.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sim.MonitorErrorRate(0) != 0 {
 		t.Fatal("error rate nonzero before calibration")
 	}
 }
 
 func TestNewSimulatorHighPoint(t *testing.T) {
-	sim := eccspec.NewSimulator(eccspec.Options{Seed: 7, HighVoltagePoint: true})
+	sim, err := eccspec.NewSimulator(eccspec.Options{Seed: 7, HighVoltagePoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sim.NominalVoltage() != 1.100 {
 		t.Fatalf("nominal %v", sim.NominalVoltage())
 	}
 }
 
 func TestNewSimulatorWorkloadSelection(t *testing.T) {
-	sim := eccspec.NewSimulator(eccspec.Options{Seed: 7, Workload: "mcf"})
-	if sim == nil {
-		t.Fatal("nil simulator")
+	sim, err := eccspec.NewSimulator(eccspec.Options{Seed: 7, Workload: "mcf"})
+	if err != nil || sim == nil {
+		t.Fatalf("known workload rejected: %v", err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown workload should panic")
-		}
-	}()
-	eccspec.NewSimulator(eccspec.Options{Seed: 7, Workload: "not-a-benchmark"})
+	sim, err = eccspec.NewSimulator(eccspec.Options{Seed: 7, Workload: "not-a-benchmark"})
+	if sim != nil || !errors.Is(err, eccspec.ErrUnknownWorkload) {
+		t.Fatalf("unknown workload: sim=%v err=%v", sim, err)
+	}
+	if !strings.Contains(err.Error(), "not-a-benchmark") || !strings.Contains(err.Error(), "stress-test") {
+		t.Fatalf("error should name the workload and list valid ones: %v", err)
+	}
 }
 
 func TestExperimentIDs(t *testing.T) {
@@ -97,7 +108,10 @@ func TestRunExperiment(t *testing.T) {
 }
 
 func TestUncoreSpeculationFacade(t *testing.T) {
-	sim := eccspec.NewSimulator(eccspec.Options{Seed: 9, Workload: "jbb-8wh"})
+	sim, err := eccspec.NewSimulator(eccspec.Options{Seed: 9, Workload: "jbb-8wh"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := sim.Calibrate(); err != nil {
 		t.Fatal(err)
 	}

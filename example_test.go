@@ -9,7 +9,10 @@ import (
 // ExampleNewSimulator runs the complete speculation flow on one chip:
 // build, calibrate, speculate, read back the savings.
 func ExampleNewSimulator() {
-	sim := eccspec.NewSimulator(eccspec.Options{Seed: 42, Workload: "mcf"})
+	sim, err := eccspec.NewSimulator(eccspec.Options{Seed: 42, Workload: "mcf"})
+	if err != nil {
+		panic(err)
+	}
 	if err := sim.Calibrate(); err != nil {
 		panic(err)
 	}

@@ -17,10 +17,13 @@ import (
 func main() {
 	// Each seed is a different manufactured chip: its weak cache lines,
 	// logic floors and rail resonances all derive from it.
-	sim := eccspec.NewSimulator(eccspec.Options{
+	sim, err := eccspec.NewSimulator(eccspec.Options{
 		Seed:     42,
 		Workload: "mcf", // any Table II benchmark name works here
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("chip with %d cores across %d voltage domains, nominal %.0f mV\n",
 		sim.NumCores(), sim.NumDomains(), 1000*sim.NominalVoltage())

@@ -63,19 +63,26 @@ type Config struct {
 	// CalibFloorV aborts a sweep that somehow finds no errors before
 	// reaching clearly unsafe territory.
 	CalibFloorV float64
+	// WatchdogStalledTicks is how many consecutive ticks a domain's
+	// monitor may leave its access counter frozen before the controller
+	// declares the sensor dead and fails the domain safe. A healthy
+	// monitor advances its counter by ProbesPerTick every tick, so the
+	// watchdog never fires without a fault. <= 0 disables it.
+	WatchdogStalledTicks int
 }
 
 // DefaultConfig returns the paper's operating parameters.
 func DefaultConfig() Config {
 	return Config{
-		FloorRate:         0.01,
-		CeilRate:          0.05,
-		EmergencySteps:    5,
-		ProbesPerTick:     50,
-		DecisionProbes:    200,
-		CalibStepV:        0.005,
-		CalibReadsPerLine: 4,
-		CalibFloorV:       0.350,
+		FloorRate:            0.01,
+		CeilRate:             0.05,
+		EmergencySteps:       5,
+		ProbesPerTick:        50,
+		DecisionProbes:       200,
+		CalibStepV:           0.005,
+		CalibReadsPerLine:    4,
+		CalibFloorV:          0.350,
+		WatchdogStalledTicks: 10,
 	}
 }
 
@@ -111,6 +118,10 @@ const (
 	Emergency
 	// Pending: not enough probes accumulated for a decision.
 	Pending
+	// FailSafe: the domain's monitor failed its self test or stalled;
+	// the controller reverted the rail to nominal Vdd and stopped
+	// speculating on this domain. Other domains keep speculating.
+	FailSafe
 )
 
 // String names the action.
@@ -126,6 +137,8 @@ func (k ActionKind) String() string {
 		return "emergency"
 	case Pending:
 		return "pending"
+	case FailSafe:
+		return "fail-safe"
 	default:
 		return "unknown"
 	}
@@ -168,6 +181,13 @@ type overheadReporter interface {
 	TakeOverheadSeconds() float64
 }
 
+// selfTester is implemented by probers with a built-in self test
+// (monitor.Monitor). The controller cross-checks it whenever it reads a
+// decision's worth of counters; probers without one are trusted.
+type selfTester interface {
+	SelfTest() bool
+}
+
 // System is the per-chip voltage control system.
 type System struct {
 	Chip *chip.Chip
@@ -180,6 +200,15 @@ type System struct {
 	assigns  map[int]Assignment
 	lastRate map[int]float64
 	uncore   *uncoreState
+
+	// failed records domains the controller has reverted to nominal
+	// after a monitor fault, with the reason; stalled counts consecutive
+	// frozen-counter ticks per domain for the watchdog; emergencies
+	// counts serviced emergency interrupts. All three are process-local
+	// telemetry, not checkpoint state.
+	failed      map[int]string
+	stalled     map[int]int
+	emergencies int
 
 	// acts is Tick's scratch, reused so the steady-state loop
 	// allocates nothing.
@@ -225,6 +254,8 @@ func newSystem(c *chip.Chip, cfg Config) *System {
 		active:   make(map[int]Prober),
 		assigns:  make(map[int]Assignment),
 		lastRate: make(map[int]float64),
+		failed:   make(map[int]string),
+		stalled:  make(map[int]int),
 	}
 }
 
@@ -310,6 +341,8 @@ func (s *System) CalibrateDomain(d *chip.Domain) (Assignment, error) {
 		delete(s.active, d.ID)
 		delete(s.assigns, d.ID)
 	}
+	delete(s.failed, d.ID)
+	delete(s.stalled, d.ID)
 	a, err := s.FindOnset(d)
 	if err != nil {
 		return Assignment{}, err
@@ -352,20 +385,43 @@ func (s *System) Tick() []Action {
 		if mon == nil {
 			continue
 		}
+		accBefore, _ := mon.Counters()
 		mon.ProbeN(s.Cfg.ProbesPerTick, d.LastEffective())
 		if rep, ok := mon.(overheadReporter); ok {
 			a := s.assigns[d.ID]
 			frac := rep.TakeOverheadSeconds() / s.Chip.P.TickSeconds
 			s.Chip.Cores[a.Core].SetOverheadFraction(frac)
 		}
+		// Stall watchdog: a monitor that was asked to probe but did not
+		// advance its access counter is a dead sensor — its rate would
+		// stay stale forever and no decision would ever fire again.
+		if accAfter, _ := mon.Counters(); s.Cfg.ProbesPerTick > 0 &&
+			s.Cfg.WatchdogStalledTicks > 0 && accAfter == accBefore {
+			s.stalled[d.ID]++
+			if s.stalled[d.ID] >= s.Cfg.WatchdogStalledTicks {
+				out = append(out, s.failSafe(d, mon, "monitor stalled (sensor dropout)"))
+				continue
+			}
+		} else if s.stalled[d.ID] != 0 {
+			delete(s.stalled, d.ID)
+		}
 		act := Action{Domain: d.ID}
 		if mon.TakeEmergency() {
 			act.Kind = Emergency
 			act.ErrorRate = mon.ErrorRate()
 			s.lastRate[d.ID] = act.ErrorRate
+			s.emergencies++
 			d.Rail.StepUp(s.Cfg.EmergencySteps)
 			mon.ResetCounters()
 		} else if acc, _ := mon.Counters(); acc >= s.Cfg.DecisionProbes {
+			// A decision's worth of counters is also when firmware
+			// cross-checks the monitor's built-in self test: a stuck
+			// datapath reads as a perfect zero rate and would otherwise
+			// walk the rail off the voltage cliff.
+			if st, ok := mon.(selfTester); ok && !st.SelfTest() {
+				out = append(out, s.failSafe(d, mon, "self-test failed"))
+				continue
+			}
 			rate := mon.ErrorRate()
 			act.ErrorRate = rate
 			s.lastRate[d.ID] = rate
@@ -390,3 +446,45 @@ func (s *System) Tick() []Action {
 	s.acts = out
 	return out
 }
+
+// failSafe permanently stops speculating on a domain after a monitor
+// fault: the monitor is deactivated (its line returns to service), the
+// assignment is dropped, and the rail reverts to nominal Vdd where the
+// design is unconditionally safe. Sibling domains are untouched.
+// Recalibrating the domain (CalibrateDomain) restores speculation.
+func (s *System) failSafe(d *chip.Domain, mon Prober, reason string) Action {
+	rate := mon.ErrorRate()
+	mon.Deactivate()
+	delete(s.active, d.ID)
+	delete(s.assigns, d.ID)
+	delete(s.stalled, d.ID)
+	s.failed[d.ID] = reason
+	d.Rail.SetTarget(s.Chip.P.Point.NominalVdd)
+	return Action{Domain: d.ID, Kind: FailSafe, ErrorRate: rate,
+		NewTarget: d.Rail.Target()}
+}
+
+// FailedSafe reports whether the controller has failed the domain safe,
+// and why.
+func (s *System) FailedSafe(domain int) (reason string, ok bool) {
+	reason, ok = s.failed[domain]
+	return reason, ok
+}
+
+// FailSafeDomains returns the ids of all failed-safe domains, sorted.
+func (s *System) FailSafeDomains() []int {
+	if len(s.failed) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(s.failed))
+	for id := range s.failed {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Emergencies returns how many emergency interrupts this system has
+// serviced in this process. The counter is telemetry, not checkpoint
+// state: it restarts at zero after a restore.
+func (s *System) Emergencies() int { return s.emergencies }

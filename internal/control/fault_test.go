@@ -1,0 +1,208 @@
+package control
+
+import (
+	"strings"
+	"testing"
+
+	"eccspec/internal/chip"
+	"eccspec/internal/monitor"
+)
+
+// converge runs the closed loop for n ticks.
+func converge(c *chip.Chip, s *System, n int) {
+	for i := 0; i < n; i++ {
+		c.Step()
+		s.Tick()
+	}
+}
+
+// TestFaultStuckZeroFailsSafeWhileSiblingsConverge breaks domain 0's
+// monitor datapath (probes run, errors stuck at zero): the firmware
+// self-test cross-check must fail the domain safe — rail back to nominal
+// Vdd, monitor released — while every sibling domain keeps speculating
+// below nominal.
+func TestFaultStuckZeroFailsSafeWhileSiblingsConverge(t *testing.T) {
+	c, s := testSystem(31)
+	if _, err := s.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	converge(c, s, 1200)
+
+	mon, ok := s.ActiveMonitor(0).(*monitor.Monitor)
+	if !ok {
+		t.Fatal("domain 0 has no hardware monitor")
+	}
+	mon.SetFault(monitor.FaultStuckZero)
+
+	var failed bool
+	for i := 0; i < 50 && !failed; i++ {
+		c.Step()
+		for _, a := range s.Tick() {
+			if a.Domain == 0 && a.Kind == FailSafe {
+				failed = true
+			}
+		}
+	}
+	if !failed {
+		t.Fatal("self-test never failed the stuck-at-zero domain safe")
+	}
+	reason, ok := s.FailedSafe(0)
+	if !ok || !strings.Contains(reason, "self-test") {
+		t.Fatalf("FailedSafe(0) = %q, %v; want a self-test reason", reason, ok)
+	}
+	if got := s.FailSafeDomains(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("FailSafeDomains() = %v, want [0]", got)
+	}
+	nominal := c.P.Point.NominalVdd
+	if got := c.Domains[0].Rail.Target(); got != nominal {
+		t.Fatalf("failed domain rail at %.3f V, want nominal %.3f V", got, nominal)
+	}
+	if s.ActiveMonitor(0) != nil {
+		t.Fatal("failed domain still holds a monitor")
+	}
+
+	// Siblings must be untouched: still monitored, still below nominal.
+	converge(c, s, 400)
+	for _, d := range c.Domains[1:] {
+		if s.ActiveMonitor(d.ID) == nil {
+			t.Fatalf("sibling domain %d lost its monitor", d.ID)
+		}
+		if _, failed := s.FailedSafe(d.ID); failed {
+			t.Fatalf("sibling domain %d failed safe", d.ID)
+		}
+		if got := d.Rail.Target(); got >= nominal {
+			t.Fatalf("sibling domain %d no longer speculating: %.3f V", d.ID, got)
+		}
+	}
+	for _, co := range c.Cores {
+		if !co.Alive() {
+			t.Fatalf("core %d died", co.ID)
+		}
+	}
+}
+
+// TestFaultSensorDropoutTripsWatchdog kills a domain's sensor outright
+// (probes do nothing, counters freeze): the stall watchdog must fail the
+// domain safe within its configured tick budget.
+func TestFaultSensorDropoutTripsWatchdog(t *testing.T) {
+	c, s := testSystem(32)
+	if _, err := s.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	converge(c, s, 400)
+
+	mon, ok := s.ActiveMonitor(1).(*monitor.Monitor)
+	if !ok {
+		t.Fatal("domain 1 has no hardware monitor")
+	}
+	mon.SetFault(monitor.FaultDropout)
+
+	deadline := s.Cfg.WatchdogStalledTicks + 5
+	var failedAt int
+	for i := 1; i <= deadline && failedAt == 0; i++ {
+		c.Step()
+		for _, a := range s.Tick() {
+			if a.Domain == 1 && a.Kind == FailSafe {
+				failedAt = i
+			}
+		}
+	}
+	if failedAt == 0 {
+		t.Fatalf("watchdog never fired within %d ticks", deadline)
+	}
+	if failedAt < s.Cfg.WatchdogStalledTicks {
+		t.Fatalf("watchdog fired after %d ticks, before its %d-tick budget",
+			failedAt, s.Cfg.WatchdogStalledTicks)
+	}
+	reason, ok := s.FailedSafe(1)
+	if !ok || !strings.Contains(reason, "stalled") {
+		t.Fatalf("FailedSafe(1) = %q, %v; want a stall reason", reason, ok)
+	}
+	if got := c.Domains[1].Rail.Target(); got != c.P.Point.NominalVdd {
+		t.Fatalf("stalled domain rail at %.3f V, want nominal", got)
+	}
+}
+
+// TestFaultRecalibrationRestoresFailedDomain: after a fail-safe, a
+// recalibration pass must clear the fault record and resume speculation
+// on the domain.
+func TestFaultRecalibrationRestoresFailedDomain(t *testing.T) {
+	c, s := testSystem(33)
+	if _, err := s.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	converge(c, s, 400)
+	mon := s.ActiveMonitor(0).(*monitor.Monitor)
+	mon.SetFault(monitor.FaultStuckZero)
+	converge(c, s, 50)
+	if _, failed := s.FailedSafe(0); !failed {
+		t.Fatal("domain 0 did not fail safe")
+	}
+	mon.SetFault(monitor.FaultNone) // field replacement / fault cleared
+
+	if _, err := s.CalibrateDomain(c.Domains[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, failed := s.FailedSafe(0); failed {
+		t.Fatal("recalibration did not clear the fail-safe record")
+	}
+	if s.ActiveMonitor(0) == nil {
+		t.Fatal("recalibration did not reactivate a monitor")
+	}
+	converge(c, s, 600)
+	if got := c.Domains[0].Rail.Target(); got >= c.P.Point.NominalVdd {
+		t.Fatalf("recalibrated domain not speculating: %.3f V", got)
+	}
+}
+
+// TestFaultPDNTransientServicedByEmergency injects a 50 mV regulator
+// transient under a converged rail: the monitor's emergency interrupt
+// must fire and be serviced ahead of the regular decision path — the
+// same tick's action already carries the EmergencySteps-sized raise —
+// and the domain must ride out the transient without failing safe.
+func TestFaultPDNTransientServicedByEmergency(t *testing.T) {
+	c, s := testSystem(34)
+	if _, err := s.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	converge(c, s, 1200)
+
+	d := c.Domains[0]
+	d.Rail.SetDisturbance(0.050)
+	var hit bool
+	for i := 0; i < 100 && !hit; i++ {
+		before := d.Rail.Target()
+		c.Step()
+		for _, a := range s.Tick() {
+			if a.Domain != 0 || a.Kind != Emergency {
+				continue
+			}
+			hit = true
+			want := before + float64(s.Cfg.EmergencySteps)*d.Rail.Params().StepV
+			if a.NewTarget < want-1e-9 {
+				t.Fatalf("emergency raised to %.3f V in its own tick, want >= %.3f V",
+					a.NewTarget, want)
+			}
+		}
+	}
+	if !hit {
+		t.Fatal("no emergency interrupt under a 50 mV transient")
+	}
+	d.Rail.SetDisturbance(0)
+
+	converge(c, s, 600)
+	if _, failed := s.FailedSafe(0); failed {
+		t.Fatal("transient must not fail the domain safe")
+	}
+	if s.ActiveMonitor(0) == nil {
+		t.Fatal("domain lost its monitor after the transient")
+	}
+	for _, co := range c.Cores {
+		if !co.Alive() {
+			t.Fatalf("core %d died during the transient", co.ID)
+		}
+	}
+	if s.Emergencies() == 0 {
+		t.Fatal("emergency counter did not record the event")
+	}
+}

@@ -78,6 +78,8 @@ func (s *System) RestoreState(st State) error {
 		delete(s.assigns, id)
 		delete(s.lastRate, id)
 	}
+	clear(s.failed)
+	clear(s.stalled)
 	s.uncore = nil
 	for _, ds := range st.Domains {
 		a := ds.Assignment

@@ -24,7 +24,10 @@ import (
 // zero-alloc assertion itself lives in TestEngineTickDoesNotAllocate so
 // a regression fails `go test` too.
 func BenchmarkEngineTick(b *testing.B) {
-	sim := eccspec.NewSimulator(eccspec.Options{Seed: 42, Workload: "jbb-8wh"})
+	sim, err := eccspec.NewSimulator(eccspec.Options{Seed: 42, Workload: "jbb-8wh"})
+	if err != nil {
+		b.Fatal(err)
+	}
 	if err := sim.Calibrate(); err != nil {
 		b.Fatal(err)
 	}
@@ -38,7 +41,10 @@ func BenchmarkEngineTick(b *testing.B) {
 }
 
 func TestEngineTickDoesNotAllocate(t *testing.T) {
-	sim := eccspec.NewSimulator(eccspec.Options{Seed: 42, Workload: "jbb-8wh"})
+	sim, err := eccspec.NewSimulator(eccspec.Options{Seed: 42, Workload: "jbb-8wh"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := sim.Calibrate(); err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +75,10 @@ func TestEngineTickDoesNotAllocate(t *testing.T) {
 func TestCheckpointObserverResume(t *testing.T) {
 	const seed, total, cut = 77, 600, 300
 	newSim := func() *eccspec.Simulator {
-		sim := eccspec.NewSimulator(eccspec.Options{Seed: seed, Workload: "mcf"})
+		sim, err := eccspec.NewSimulator(eccspec.Options{Seed: seed, Workload: "mcf"})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := sim.Calibrate(); err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,244 @@
+package faultinject_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"eccspec/internal/engine"
+	"eccspec/internal/faultinject"
+	"eccspec/internal/fleet"
+)
+
+func TestChaosPlanValidation(t *testing.T) {
+	bad := []faultinject.Plan{
+		{Faults: []faultinject.Fault{{Kind: "meteor-strike", Start: 1}}},
+		{Faults: []faultinject.Fault{{Kind: faultinject.DUEBurst, Start: -1}}},
+		{Faults: []faultinject.Fault{{Kind: faultinject.DUEBurst, Start: 1, Duration: -2}}},
+		{Faults: []faultinject.Fault{{Kind: faultinject.MonitorDropout, Domain: -1}}},
+		{Faults: []faultinject.Fault{{Kind: faultinject.PDNTransient, Start: 1, Duration: 1}}},
+		{Faults: []faultinject.Fault{{Kind: faultinject.StoreSlow, Start: 1, Duration: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated: %+v", i, p)
+		}
+		if _, err := faultinject.New(p); err == nil {
+			t.Errorf("New accepted invalid plan %d", i)
+		}
+	}
+
+	// A valid plan must survive a JSON round trip through ParsePlan.
+	want := faultinject.Plan{Seed: 9, Faults: []faultinject.Fault{
+		{Kind: faultinject.PDNTransient, Domain: 2, Start: 100, Duration: 10, DroopV: 0.03},
+		{Kind: faultinject.StoreError, Start: 4, Duration: 2},
+	}}
+	raw, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := faultinject.ParsePlan(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Fatalf("round trip changed the plan:\n%+v\n%+v", got, want)
+	}
+
+	// Every catalog scenario must carry a valid plan.
+	for _, sc := range faultinject.Scenarios() {
+		if err := sc.Plan.Validate(); err != nil {
+			t.Errorf("scenario %s: %v", sc.Name, err)
+		}
+		if found, ok := faultinject.ScenarioByName(sc.Name); !ok || found.Name != sc.Name {
+			t.Errorf("ScenarioByName(%q) lookup failed", sc.Name)
+		}
+	}
+}
+
+// runScenario executes a scenario's simulation plane on a single-worker
+// fleet and renders the injector's event log and the chip results into a
+// canonical string — the unit of comparison for determinism tests.
+func runScenario(t *testing.T, sc faultinject.Scenario) string {
+	t.Helper()
+	in, err := faultinject.New(sc.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := fleet.New(fleet.Config{Workers: 1})
+	results, err := eng.Run(context.Background(), fleet.Job{
+		Seeds:    sc.Seeds,
+		Workload: sc.Workload,
+		Seconds:  sc.Seconds,
+		Observers: func(seed uint64) []engine.Observer {
+			return []engine.Observer{in.Observer(seed)}
+		},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, ev := range in.Events() {
+		fmt.Fprintf(&b, "event chip=%d tick=%d %s %s\n", ev.Chip, ev.Tick, ev.Phase, ev.Fault)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "chip %d: error: %v\n", r.Seed, r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "chip %d: ticks=%d emergencies=%d failsafe=%v vdd=[", r.Seed, r.Ticks, r.Emergencies, r.FailSafe)
+		for i, v := range r.DomainVdd {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.6f", v)
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// TestChaosPlanReplaysByteIdentical is the tentpole determinism
+// contract: the same plan and seed produce byte-identical outcomes —
+// the event log and every chip result match across independent runs.
+func TestChaosPlanReplaysByteIdentical(t *testing.T) {
+	sc, ok := faultinject.ScenarioByName("dead-monitor")
+	if !ok {
+		t.Fatal("dead-monitor scenario missing")
+	}
+	a := runScenario(t, sc)
+	b := runScenario(t, sc)
+	if a != b {
+		t.Fatalf("same plan, same seed, different outcome:\n--- run 1\n%s--- run 2\n%s", a, b)
+	}
+	if !strings.Contains(a, "failsafe=[0 2]") {
+		t.Fatalf("dead-monitor should fail domains 0 and 2 safe:\n%s", a)
+	}
+	if !strings.Contains(a, "apply monitor-stuck-zero domain 0") ||
+		!strings.Contains(a, "apply monitor-dropout domain 2") {
+		t.Fatalf("event log missing injections:\n%s", a)
+	}
+}
+
+// TestChaosDUEBurstRecovers drives the burst-due scenario: the hard
+// failure window must raise emergencies, and once it passes the domain
+// must still be speculating (no fail-safe, setpoints below nominal).
+func TestChaosDUEBurstRecovers(t *testing.T) {
+	sc, ok := faultinject.ScenarioByName("burst-due")
+	if !ok {
+		t.Fatal("burst-due scenario missing")
+	}
+	in, err := faultinject.New(sc.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := fleet.New(fleet.Config{Workers: 1})
+	results, err := eng.Run(context.Background(), fleet.Job{
+		Seeds: sc.Seeds, Workload: sc.Workload, Seconds: sc.Seconds,
+		Observers: func(seed uint64) []engine.Observer {
+			return []engine.Observer{in.Observer(seed)}
+		},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Err != nil {
+		t.Fatalf("chip failed: %v", r.Err)
+	}
+	if r.Emergencies == 0 {
+		t.Fatal("a DUE burst must drive the emergency path")
+	}
+	if len(r.FailSafe) != 0 {
+		t.Fatalf("domain failed safe %v — a passing burst should not be terminal", r.FailSafe)
+	}
+	for d, v := range r.DomainVdd {
+		if v >= r.NominalV {
+			t.Fatalf("domain %d stopped speculating after the burst: %.3f V", d, v)
+		}
+	}
+	// The window must have both edges in the log.
+	var applied, cleared bool
+	for _, ev := range in.Events() {
+		if ev.Fault.Kind == faultinject.DUEBurst {
+			applied = applied || ev.Phase == "apply"
+			cleared = cleared || ev.Phase == "clear"
+		}
+	}
+	if !applied || !cleared {
+		t.Fatalf("burst window not fully delivered (applied=%v cleared=%v)", applied, cleared)
+	}
+}
+
+// TestChaosWorkerPanicIsolated plans a worker panic for one chip of
+// three: the fleet must convert it to that chip's error and finish the
+// other two untouched.
+func TestChaosWorkerPanicIsolated(t *testing.T) {
+	in, err := faultinject.New(faultinject.Plan{Faults: []faultinject.Fault{
+		{Kind: faultinject.WorkerPanic, Chip: 82, Start: 30},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := fleet.New(fleet.Config{Workers: 3})
+	results, err := eng.Run(context.Background(), fleet.Job{
+		Seeds: []uint64{81, 82, 83}, Seconds: 0.1,
+		Observers: func(seed uint64) []engine.Observer {
+			return []engine.Observer{in.Observer(seed)}
+		},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Seed == 82 {
+			if r.Err == nil || !strings.Contains(r.Err.Error(), "worker panic") {
+				t.Fatalf("chip 82: err = %v, want a recovered worker panic", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("healthy chip %d failed: %v", r.Seed, r.Err)
+		}
+		if r.Ticks == 0 || len(r.DomainVdd) == 0 {
+			t.Fatalf("healthy chip %d has no results: %+v", r.Seed, r)
+		}
+	}
+}
+
+// TestChaosEmptyPlanAddsNothing pins the disabled-injector contract: an
+// empty plan yields no store hook and observers that never record an
+// event, so instrumented runs stay byte-identical to plain ones.
+func TestChaosEmptyPlanAddsNothing(t *testing.T) {
+	in, err := faultinject.New(faultinject.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hook := in.StoreHook(); hook != nil {
+		t.Fatal("empty plan produced a store hook")
+	}
+	eng := fleet.New(fleet.Config{Workers: 1})
+	run := func(obs func(uint64) []engine.Observer) fleet.ChipResult {
+		results, err := eng.Run(context.Background(), fleet.Job{
+			Seeds: []uint64{7}, Seconds: 0.1, Observers: obs,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results[0]
+	}
+	plain := run(nil)
+	injected := run(func(seed uint64) []engine.Observer {
+		return []engine.Observer{in.Observer(seed)}
+	})
+	a := fmt.Sprintf("%d %d %v %v %.9f %.9f", plain.Ticks, plain.Emergencies, plain.FailSafe, plain.DomainVdd, plain.AvgReduction, plain.AvgPowerW)
+	b := fmt.Sprintf("%d %d %v %v %.9f %.9f", injected.Ticks, injected.Emergencies, injected.FailSafe, injected.DomainVdd, injected.AvgReduction, injected.AvgPowerW)
+	if a != b {
+		t.Fatalf("empty injector changed the run:\n%s\n%s", a, b)
+	}
+	if evs := in.Events(); len(evs) != 0 {
+		t.Fatalf("empty plan recorded events: %+v", evs)
+	}
+}

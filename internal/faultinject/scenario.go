@@ -1,0 +1,103 @@
+package faultinject
+
+// Scenario is a named, ready-to-run chaos recipe: a plan plus the run
+// parameters it was tuned for. The catalog below backs `eccspec chaos`
+// and the chaos tests; CLI flags can override the run parameters but
+// the plan itself is fixed so results stay comparable.
+type Scenario struct {
+	Name        string
+	Description string
+	// Workload and Seconds configure the simulated run.
+	Workload string
+	Seconds  float64
+	// Seeds are the chip specimens to run (the CLI's -seed flag
+	// replaces them).
+	Seeds []uint64
+	Plan  Plan
+}
+
+// Scenarios returns the built-in chaos catalog, in presentation order.
+//
+// Tick numbers assume the default low-voltage operating point (1 ms
+// control ticks): runs start converged enough for faults in the
+// 100-400 tick range to land mid-speculation.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name: "burst-due",
+			Description: "the monitored line fails hard for 5 ticks " +
+				"(every probe raises an uncorrectable) — the emergency " +
+				"interrupt path must lift the rail and the domain must " +
+				"recover once the burst passes",
+			Workload: "stress-test",
+			Seconds:  0.6,
+			Seeds:    []uint64{42},
+			Plan: Plan{
+				Seed: 42,
+				Faults: []Fault{
+					{Kind: DUEBurst, Domain: 1, Start: 250, Duration: 5},
+				},
+			},
+		},
+		{
+			Name: "dead-monitor",
+			Description: "domain 0's monitor datapath sticks at zero and " +
+				"domain 2's sensor drops out — the controller must fail " +
+				"both domains safe (nominal Vdd) while domains 1 and 3 " +
+				"keep speculating",
+			Workload: "stress-test",
+			Seconds:  0.6,
+			Seeds:    []uint64{42},
+			Plan: Plan{
+				Seed: 42,
+				Faults: []Fault{
+					{Kind: MonitorStuckZero, Domain: 0, Start: 200},
+					{Kind: MonitorDropout, Domain: 2, Start: 260},
+				},
+			},
+		},
+		{
+			Name: "virus-transient",
+			Description: "a resonance-seeking load (stress-kernel swings) " +
+				"composed with a 35 mV regulator transient on domains 0 " +
+				"and 1 for 10 ticks — emergencies may fire; every core " +
+				"must survive",
+			Workload: "stress-kernel",
+			Seconds:  0.6,
+			Seeds:    []uint64{42},
+			Plan: Plan{
+				Seed: 42,
+				Faults: []Fault{
+					{Kind: PDNTransient, Domain: 0, Start: 300, Duration: 10, DroopV: 0.035},
+					{Kind: PDNTransient, Domain: 1, Start: 305, Duration: 10, DroopV: 0.035},
+				},
+			},
+		},
+		{
+			Name: "flaky-disk",
+			Description: "journal appends hit a 3-operation error burst " +
+				"and 2 ms stalls — the store's bounded retry must commit " +
+				"every record and the journal must replay cleanly",
+			Workload: "stress-test",
+			Seconds:  0.3,
+			Seeds:    []uint64{1, 2, 3},
+			Plan: Plan{
+				Seed: 7,
+				Faults: []Fault{
+					{Kind: StoreError, Start: 3, Duration: 3},
+					{Kind: StoreSlow, Start: 8, Duration: 2, DelayMs: 2},
+				},
+			},
+		},
+	}
+}
+
+// ScenarioByName looks up a catalog entry.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -127,6 +127,14 @@ type ChipResult struct {
 	AvgPowerW float64
 	// Ticks is the number of control ticks executed.
 	Ticks int
+	// Emergencies counts the emergency interrupts the chip's controller
+	// serviced during this process's run (live telemetry — not carried
+	// through checkpoints or the store).
+	Emergencies int
+	// FailSafe lists the voltage domains the controller reverted to
+	// nominal after a monitor fault (sorted; nil in healthy runs). Like
+	// Emergencies, live telemetry only.
+	FailSafe []int
 	// Trace holds per-tick telemetry when the job requested it.
 	Trace *trace.Recorder
 }
@@ -199,6 +207,30 @@ func (e *Engine) Run(ctx context.Context, job Job, onProgress func(done, total i
 		progMu   sync.Mutex
 		finished int
 	)
+	// runOne isolates one chip's full turn — simulation plus the
+	// OnResult and onProgress callbacks — behind a recover, so a panic
+	// anywhere in it (an observer, a callback, the simulator itself)
+	// becomes that chip's error instead of killing the worker and
+	// deadlocking the pool. The progress mutex is released by defer for
+	// the same reason.
+	runOne := func(idx int) {
+		defer func() {
+			if r := recover(); r != nil {
+				results[idx] = ChipResult{Seed: job.Seeds[idx],
+					Err: fmt.Errorf("fleet: chip %d: worker panic: %v", job.Seeds[idx], r)}
+			}
+		}()
+		results[idx] = simulateFn(ctx, job, job.Seeds[idx])
+		if job.OnResult != nil {
+			job.OnResult(results[idx])
+		}
+		if onProgress != nil {
+			progMu.Lock()
+			defer progMu.Unlock()
+			finished++
+			onProgress(finished, n)
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -210,16 +242,7 @@ func (e *Engine) Run(ctx context.Context, job Job, onProgress func(done, total i
 					results[idx] = ChipResult{Seed: job.Seeds[idx], Err: err}
 					continue
 				}
-				results[idx] = simulateFn(ctx, job, job.Seeds[idx])
-				if job.OnResult != nil {
-					job.OnResult(results[idx])
-				}
-				if onProgress != nil {
-					progMu.Lock()
-					finished++
-					onProgress(finished, n)
-					progMu.Unlock()
-				}
+				runOne(idx)
 			}
 		}()
 	}
@@ -272,12 +295,17 @@ func simulateChip(ctx context.Context, job Job, seed uint64) (res ChipResult) {
 			res.Trace = rec
 		}
 	} else {
-		sim = eccspec.NewSimulator(eccspec.Options{
+		var err error
+		sim, err = eccspec.NewSimulator(eccspec.Options{
 			Seed:             seed,
 			Workload:         job.Workload,
 			HighVoltagePoint: job.HighVoltagePoint,
 			FullGeometry:     job.FullGeometry,
 		})
+		if err != nil {
+			res.Err = err
+			return res
+		}
 		if err := sim.Calibrate(); err != nil {
 			res.Err = fmt.Errorf("calibrate: %w", err)
 			return res
@@ -323,6 +351,8 @@ func simulateChip(ctx context.Context, job Job, seed uint64) (res ChipResult) {
 	}
 	rep, err := engine.Run(ctx, sim, engine.Config{Start: start, Until: ticks, Observers: obs})
 	res.Ticks = rep.Tick
+	res.Emergencies = sim.Control().Emergencies()
+	res.FailSafe = sim.Control().FailSafeDomains()
 	if err != nil {
 		res.Err = err
 		return res

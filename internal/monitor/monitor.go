@@ -63,6 +63,32 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// FaultMode selects an injected hardware fault for a monitor. The zero
+// value is a healthy monitor; the non-zero modes model the sensor
+// failures the control loop must survive (internal/faultinject drives
+// them, internal/control detects them via SelfTest and its stall
+// watchdog).
+type FaultMode int
+
+const (
+	// FaultNone is a healthy monitor.
+	FaultNone FaultMode = iota
+	// FaultStuckZero models a stuck-at datapath: probes still consume
+	// cache cycles and count accesses, but no error is ever reported —
+	// the controller would walk the voltage off a cliff if it trusted
+	// the rate. The built-in self test catches it.
+	FaultStuckZero
+	// FaultDropout models a dead sensor: probes do nothing and the
+	// counters freeze, so the controller sees a stale error rate
+	// forever. Caught by the controller's stall watchdog.
+	FaultDropout
+	// FaultDUE models the probed line genuinely failing hard: every
+	// probe raises an uncorrectable (detected-uncorrectable) event and
+	// latches the emergency interrupt. The monitor itself is healthy —
+	// this exercises the paper's emergency path, not the self test.
+	FaultDUE
+)
+
 // Monitor is one cache controller's ECC monitor.
 type Monitor struct {
 	cfg   Config
@@ -70,6 +96,7 @@ type Monitor struct {
 	// Target line; valid only while active.
 	set, way int
 	active   bool
+	fault    FaultMode
 
 	accesses  uint64
 	errors    uint64
@@ -121,6 +148,10 @@ func (m *Monitor) Probe(v float64) bool {
 	if !m.active {
 		panic("monitor: probe while inactive")
 	}
+	if m.fault == FaultDropout {
+		// Dead sensor: no access happens, counters stay frozen.
+		return false
+	}
 	var data [sram.WordsPerLine]uint64
 	p := defaultPatterns[m.pattern]
 	m.pattern = (m.pattern + 1) % len(defaultPatterns)
@@ -130,6 +161,16 @@ func (m *Monitor) Probe(v float64) bool {
 	m.cache.WriteLine(m.set, m.way, data)
 	res := m.cache.ReadLine(m.set, m.way, v)
 	m.accesses++
+	switch m.fault {
+	case FaultStuckZero:
+		// The access happened (cell physics advanced as usual) but the
+		// error report is stuck at zero.
+		return false
+	case FaultDUE:
+		m.errors++
+		m.emergency = true
+		return true
+	}
 	hit := false
 	for _, ev := range res.Events {
 		if ev.Status == ecc.Corrected || ev.Status == ecc.Uncorrectable {
@@ -188,6 +229,21 @@ func (m *Monitor) TakeEmergency() bool {
 	e := m.emergency
 	m.emergency = false
 	return e
+}
+
+// SetFault injects (or with FaultNone clears) a hardware fault.
+func (m *Monitor) SetFault(f FaultMode) { m.fault = f }
+
+// Fault returns the currently injected fault mode.
+func (m *Monitor) Fault() FaultMode { return m.fault }
+
+// SelfTest models the monitor's built-in self test: a pure status check
+// with no cache accesses or randomness (hardware BIST runs out-of-band).
+// It reports false when the probe datapath is broken — stuck-at or
+// sensor dropout. A FaultDUE monitor passes: the sensor works, the line
+// under test genuinely fails, and the emergency path handles that.
+func (m *Monitor) SelfTest() bool {
+	return m.fault != FaultStuckZero && m.fault != FaultDropout
 }
 
 // State is a monitor's mutable state for checkpointing. The target line

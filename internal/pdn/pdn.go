@@ -103,10 +103,11 @@ func (l Load) Add(other Load, p Params) Load {
 
 // Rail is one independently regulated supply line.
 type Rail struct {
-	name   string
-	p      Params
-	fRes   float64
-	target float64
+	name    string
+	p       Params
+	fRes    float64
+	target  float64
+	disturb float64
 }
 
 // NewRail constructs a rail. The chip seed and rail id determine the
@@ -175,10 +176,21 @@ func (r *Rail) Impedance(f float64) float64 {
 	return impedanceAt(r.p.RRes, r.p.Q, r.fRes, f)
 }
 
+// SetDisturbance injects an external droop d (in volts) on top of the
+// load-driven droop: a regulator transient, a board-level event —
+// anything the PDN model itself doesn't produce. Zero clears it; a
+// negative value models overshoot. Fault injection
+// (internal/faultinject) drives this.
+func (r *Rail) SetDisturbance(d float64) { r.disturb = d }
+
+// Disturbance returns the currently injected external droop in volts.
+func (r *Rail) Disturbance() float64 { return r.disturb }
+
 // Droop returns the worst-case supply droop for the given load, in volts:
-// static IR drop plus the resonant response to the load's oscillation.
+// static IR drop plus the resonant response to the load's oscillation,
+// plus any injected external disturbance.
 func (r *Rail) Droop(l Load) float64 {
-	d := r.p.RStatic * l.MeanCurrent
+	d := r.p.RStatic*l.MeanCurrent + r.disturb
 	if l.OscAmplitude > 0 && l.OscFreqHz > 0 {
 		d += r.Impedance(l.OscFreqHz) * l.OscAmplitude
 	}

@@ -25,7 +25,11 @@ func TestQuickRoundTripProperty(t *testing.T) {
 			Seed:     uint64(seed),
 			Workload: workloads[int(wlSel)%len(workloads)],
 		}
-		orig := eccspec.NewSimulator(opts)
+		orig, err := eccspec.NewSimulator(opts)
+		if err != nil {
+			t.Logf("seed %d: new simulator: %v", seed, err)
+			return false
+		}
 		if err := orig.Calibrate(); err != nil {
 			t.Logf("seed %d: calibrate: %v", seed, err)
 			return false

@@ -140,12 +140,15 @@ func Restore(st *State) (*eccspec.Simulator, error) {
 	if _, ok := workload.ByName(st.Options.Workload); !ok {
 		return nil, fmt.Errorf("snapshot: unknown workload %q", st.Options.Workload)
 	}
-	sim := eccspec.NewSimulator(eccspec.Options{
+	sim, err := eccspec.NewSimulator(eccspec.Options{
 		Seed:             st.Options.Seed,
 		HighVoltagePoint: st.Options.HighVoltagePoint,
 		FullGeometry:     st.Options.FullGeometry,
 		Workload:         st.Options.Workload,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
 	if err := sim.Chip().RestoreState(st.Chip); err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}

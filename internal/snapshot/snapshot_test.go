@@ -13,7 +13,10 @@ import (
 // given number of ticks.
 func newCalibrated(t *testing.T, seed uint64, ticks int) *eccspec.Simulator {
 	t.Helper()
-	sim := eccspec.NewSimulator(eccspec.Options{Seed: seed, Workload: "gcc"})
+	sim, err := eccspec.NewSimulator(eccspec.Options{Seed: seed, Workload: "gcc"})
+	if err != nil {
+		t.Fatalf("new simulator: %v", err)
+	}
 	if err := sim.Calibrate(); err != nil {
 		t.Fatalf("calibrate: %v", err)
 	}
@@ -87,7 +90,10 @@ func TestRestoreContinuesByteIdentical(t *testing.T) {
 // TestRestoreWithUncoreSpeculation exercises the uncore extension's
 // state path.
 func TestRestoreWithUncoreSpeculation(t *testing.T) {
-	sim := eccspec.NewSimulator(eccspec.Options{Seed: 7})
+	sim, err := eccspec.NewSimulator(eccspec.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := sim.Calibrate(); err != nil {
 		t.Fatalf("calibrate: %v", err)
 	}

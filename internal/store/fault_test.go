@@ -1,0 +1,226 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eccspec/internal/fleet"
+)
+
+// appendBytes appends raw bytes to a file (used to simulate torn
+// journal tails left by a crash).
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failNext returns a WriteHook that fails its first n calls and then
+// heals, plus the counter for inspection.
+func failNext(n int64) (func(op string) error, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(op string) error {
+		if calls.Add(1) <= n {
+			return fmt.Errorf("injected %s failure", op)
+		}
+		return nil
+	}, &calls
+}
+
+// TestFaultStoreRetriesTransientErrors drives a commit point through a
+// short error burst: the bounded retry must absorb it, the record must
+// land durably, and the retry counter must reflect the event.
+func TestFaultStoreRetriesTransientErrors(t *testing.T) {
+	dir := t.TempDir()
+	hook, _ := failNext(2)
+	var waits []time.Duration
+	st, err := Open(dir, Options{
+		WriteHook: hook,
+		Retry:     RetryPolicy{JitterSeed: 7},
+		Sleep:     func(d time.Duration) { waits = append(waits, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddJob(1, fleet.Job{Seeds: []uint64{5}, Seconds: 0.1}); err != nil {
+		t.Fatalf("AddJob should survive a 2-op error burst: %v", err)
+	}
+	if got := st.Retries(); got != 1 {
+		t.Fatalf("retries = %d, want 1", got)
+	}
+	if len(waits) != 2 {
+		t.Fatalf("expected 2 backoff waits, got %v", waits)
+	}
+	if waits[1] < waits[0]/2 {
+		t.Fatalf("backoff should grow (modulo jitter): %v", waits)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if jobs := re.Jobs(); len(jobs) != 1 || jobs[0].ID != 1 {
+		t.Fatalf("journal did not replay the retried record: %+v", jobs)
+	}
+}
+
+// TestFaultStoreExhaustedRetriesRollBack exhausts the retry budget: the
+// error must surface, the journal must stay at the last committed
+// boundary, and the in-memory state must not contain the failed job —
+// then a later attempt with the hook healed must succeed.
+func TestFaultStoreExhaustedRetriesRollBack(t *testing.T) {
+	dir := t.TempDir()
+	var failing atomic.Bool
+	failing.Store(true)
+	st, err := Open(dir, Options{
+		WriteHook: func(op string) error {
+			if failing.Load() {
+				return errors.New("disk on fire")
+			}
+			return nil
+		},
+		Retry: RetryPolicy{MaxAttempts: 3},
+		Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	spec := fleet.Job{Seeds: []uint64{5}, Seconds: 0.1}
+	if err := st.AddJob(1, spec); err == nil {
+		t.Fatal("AddJob should fail when every attempt errors")
+	}
+	if jobs := st.Jobs(); len(jobs) != 0 {
+		t.Fatalf("failed job must not linger in memory: %+v", jobs)
+	}
+
+	failing.Store(false)
+	if err := st.AddJob(1, spec); err != nil {
+		t.Fatalf("retrying the same id after healing: %v", err)
+	}
+	if jobs := st.Jobs(); len(jobs) != 1 {
+		t.Fatalf("healed AddJob did not apply: %+v", jobs)
+	}
+}
+
+// TestFaultStoreBackoffDeterministic pins the replayability contract:
+// the same jitter seed produces the same retry schedule.
+func TestFaultStoreBackoffDeterministic(t *testing.T) {
+	schedule := func() []time.Duration {
+		hook, _ := failNext(4)
+		var waits []time.Duration
+		st, err := Open(t.TempDir(), Options{
+			WriteHook: hook,
+			Retry:     RetryPolicy{JitterSeed: 42, MaxAttempts: 6},
+			Sleep:     func(d time.Duration) { waits = append(waits, d) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		if err := st.AddJob(1, fleet.Job{Seeds: []uint64{5}, Seconds: 0.1}); err != nil {
+			t.Fatal(err)
+		}
+		return waits
+	}
+	a, b := schedule(), schedule()
+	if len(a) == 0 || !reflect.DeepEqual(a, b) {
+		t.Fatalf("retry schedules differ for the same seed:\n%v\n%v", a, b)
+	}
+}
+
+// TestFaultStoreReadOnly opens a populated store read-only: reads must
+// serve the recovered state, every mutation must return ErrReadOnly.
+func TestFaultStoreReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddJob(3, fleet.Job{Seeds: []uint64{9}, Seconds: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.MarkJobDone(3, 1234); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro.ReadOnly() {
+		t.Fatal("ReadOnly() = false")
+	}
+	jobs := ro.Jobs()
+	if len(jobs) != 1 || jobs[0].ID != 3 || !jobs[0].Completed {
+		t.Fatalf("read-only store lost state: %+v", jobs)
+	}
+	for name, err := range map[string]error{
+		"AddJob":      ro.AddJob(4, fleet.Job{Seeds: []uint64{1}, Seconds: 0.1}),
+		"RecordChip":  ro.RecordChip(3, ChipRecord{Seed: 9}),
+		"Checkpoint":  ro.RecordCheckpoint(3, 9, 10, []byte("x")),
+		"MarkJobDone": ro.MarkJobDone(3, 99),
+		"EvictJob":    ro.EvictJob(3),
+		"Compact":     ro.Compact(),
+	} {
+		if !errors.Is(err, ErrReadOnly) {
+			t.Errorf("%s = %v, want ErrReadOnly", name, err)
+		}
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultStoreReadOnlyToleratesCorruptTail verifies that read-only
+// recovery ignores (rather than truncates) a torn tail — the backing
+// filesystem may itself be read-only.
+func TestFaultStoreReadOnlyToleratesCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddJob(1, fleet.Job{Seeds: []uint64{9}, Seconds: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, JournalName)
+	appendBytes(t, path, []byte(`{"t":"chip","job":1,`)) // torn line
+
+	before := fileSize(t, path)
+	ro, err := OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ro.Jobs()) != 1 {
+		t.Fatalf("good prefix lost: %+v", ro.Jobs())
+	}
+	if after := fileSize(t, path); after != before {
+		t.Fatalf("read-only open modified the journal: %d -> %d bytes", before, after)
+	}
+}

@@ -21,14 +21,21 @@ package store
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"eccspec/internal/fleet"
+	"eccspec/internal/rng"
 )
+
+// ErrReadOnly is returned by every mutating method of a store opened
+// with OpenReadOnly. Use errors.Is to test for it.
+var ErrReadOnly = errors.New("store: read-only")
 
 // JournalName is the journal's filename inside the data directory.
 const JournalName = "journal.jsonl"
@@ -75,6 +82,52 @@ type JobRecord struct {
 	CompletedUnix int64
 }
 
+// RetryPolicy bounds the retry-with-exponential-backoff loop the store
+// runs around journal commit points: a transient write or fsync error
+// (full disk pressure, a flaky device, an injected fault) is retried
+// with growing, jittered waits before it surfaces to the caller.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per journal operation, first
+	// attempt included; <= 0 selects 6.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry, doubling each
+	// subsequent retry up to MaxDelay; <= 0 selects 2ms / 250ms.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// JitterSeed seeds the deterministic jitter stream (internal/rng):
+	// each wait is uniformly drawn from [d/2, d]. A fixed seed makes
+	// retry schedules replayable in chaos tests.
+	JitterSeed uint64
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 6
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the wait before retry number attempt (1-based),
+// drawing jitter from the store's seeded stream.
+func (p RetryPolicy) delay(jitter *rng.Stream, attempt int) time.Duration {
+	base, max := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(jitter.Uint64()%uint64(half+1))
+}
+
 // Options tunes a store.
 type Options struct {
 	// CompactEvery triggers automatic compaction after that many
@@ -82,6 +135,16 @@ type Options struct {
 	CompactEvery int
 	// NoSync disables fsync entirely (tests only).
 	NoSync bool
+	// Retry bounds the retry loop around journal writes.
+	Retry RetryPolicy
+	// WriteHook, when set, runs before every journal write ("append"),
+	// fsync ("sync"), and compaction rewrite ("compact"); a returned
+	// error is treated exactly like the underlying I/O failing. Fault
+	// injection (internal/faultinject) and tests plug in here.
+	WriteHook func(op string) error
+	// Sleep substitutes the backoff wait; nil selects time.Sleep.
+	// Tests use it to run retry schedules instantly.
+	Sleep func(time.Duration)
 }
 
 // Store is the journal-backed job store. All methods are safe for
@@ -92,10 +155,14 @@ type Store struct {
 
 	mu      sync.Mutex
 	f       *os.File
-	enc     *bufio.Writer
+	goodOff int64 // byte offset just past the last committed record
 	jobs    map[uint64]*JobRecord
 	order   []uint64 // job ids in acceptance order
 	appends int      // records since the last compaction
+
+	readOnly bool
+	retries  int64 // journal operations that needed at least one retry
+	jitter   *rng.Stream
 }
 
 // Open opens (creating if needed) the store in dir, replaying the
@@ -107,7 +174,8 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts, jobs: make(map[uint64]*JobRecord)}
+	s := &Store{dir: dir, opts: opts, jobs: make(map[uint64]*JobRecord),
+		jitter: rng.NewStream(opts.Retry.JitterSeed, 0xFA17)}
 	path := filepath.Join(dir, JournalName)
 	if err := s.replay(path); err != nil {
 		return nil, err
@@ -116,9 +184,40 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
 	s.f = f
-	s.enc = bufio.NewWriter(f)
+	s.goodOff = info.Size()
 	return s, nil
+}
+
+// OpenReadOnly opens an existing store without write access: the
+// journal is replayed (without truncating a corrupt tail — the
+// filesystem may itself be read-only) and every mutating method returns
+// ErrReadOnly. A daemon whose data directory has gone read-only uses
+// this to keep serving recovered results in degraded mode.
+func OpenReadOnly(dir string) (*Store, error) {
+	s := &Store{dir: dir, opts: Options{}, readOnly: true,
+		jobs:   make(map[uint64]*JobRecord),
+		jitter: rng.NewStream(0, 0xFA17)}
+	if err := s.replay(filepath.Join(dir, JournalName)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReadOnly reports whether the store was opened with OpenReadOnly.
+func (s *Store) ReadOnly() bool { return s.readOnly }
+
+// Retries returns how many journal operations needed at least one
+// retry — the daemon's /metrics exposes it.
+func (s *Store) Retries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retries
 }
 
 // replay loads the journal, applying records in order. The file is
@@ -136,22 +235,31 @@ func (s *Store) replay(path string) error {
 
 	var (
 		valid int64 // byte offset just past the last good line
-		sc    = bufio.NewScanner(f)
+		r     = bufio.NewReaderSize(f, 1<<20)
 	)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
-	for sc.Scan() {
-		line := sc.Bytes()
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// EOF with a partial line is a torn append — even if the
+			// fragment happens to decode, the missing newline means the
+			// write never completed, and keeping it would glue the next
+			// append onto it. Truncate here.
+			break
+		}
 		var rec record
-		if err := json.Unmarshal(line, &rec); err != nil {
+		if err := json.Unmarshal(line[:len(line)-1], &rec); err != nil {
 			break // corrupt line: truncate here
 		}
 		if !s.apply(rec) {
 			break // structurally invalid record: truncate here
 		}
-		valid += int64(len(line)) + 1 // include the newline
+		valid += int64(len(line))
 	}
-	// A scanner error (e.g. an over-long torn line) is treated the same
-	// as a decode failure: the tail is dropped.
+	// A torn or corrupt tail is dropped. In read-only mode the tail is
+	// merely ignored — the filesystem may not allow truncation.
+	if s.readOnly {
+		return nil
+	}
 	info, err := os.Stat(path)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -227,34 +335,85 @@ func (s *Store) apply(rec record) bool {
 	return true
 }
 
-// append writes one record. Every record is flushed to the kernel, so
-// nothing is lost to a process kill; sync additionally fsyncs (the
-// commit points), so those records also survive an OS crash. Caller
-// holds s.mu.
+// append writes one record with bounded retry. Every record goes to
+// the kernel in a single write, so nothing is lost to a process kill;
+// sync additionally fsyncs (the commit points), so those records also
+// survive an OS crash. A transient write/fsync failure is retried with
+// exponential backoff and seeded jitter (Options.Retry); on exhaustion
+// the file is rolled back to the last committed boundary so a torn
+// line never precedes later good ones, and the last error surfaces.
+// Caller holds s.mu.
 func (s *Store) append(rec record, sync bool) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("store: encoding record: %w", err)
 	}
-	if _, err := s.enc.Write(line); err != nil {
-		return fmt.Errorf("store: %w", err)
+	buf := append(line, '\n')
+	var lastErr error
+	for attempt := 0; attempt < s.opts.Retry.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			if attempt == 1 {
+				s.retries++
+			}
+			s.sleep(s.opts.Retry.delay(s.jitter, attempt))
+			// A failed attempt may have left a partial line (or a whole
+			// unsynced one); cut back to the committed boundary before
+			// writing again so the record never appears twice.
+			if err := s.f.Truncate(s.goodOff); err != nil {
+				lastErr = fmt.Errorf("store: rolling back torn write: %w", err)
+				continue
+			}
+		}
+		if err := s.writeOnce(buf, sync); err != nil {
+			lastErr = fmt.Errorf("store: %w", err)
+			continue
+		}
+		s.goodOff += int64(len(buf))
+		s.appends++
+		if s.appends >= s.opts.CompactEvery {
+			return s.compactLocked()
+		}
+		return nil
 	}
-	if err := s.enc.WriteByte('\n'); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := s.enc.Flush(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if sync && !s.opts.NoSync {
-		if err := s.f.Sync(); err != nil {
-			return fmt.Errorf("store: %w", err)
+	// Exhausted: leave the journal at the last committed boundary.
+	s.f.Truncate(s.goodOff)
+	return lastErr
+}
+
+// writeOnce performs one write (+ optional fsync) attempt, consulting
+// the fault-injection hook before each underlying operation.
+func (s *Store) writeOnce(buf []byte, sync bool) error {
+	if h := s.opts.WriteHook; h != nil {
+		if err := h("append"); err != nil {
+			return err
 		}
 	}
-	s.appends++
-	if s.appends >= s.opts.CompactEvery {
-		return s.compactLocked()
+	if _, err := s.f.Write(buf); err != nil {
+		return err
+	}
+	if sync && !s.opts.NoSync {
+		if h := s.opts.WriteHook; h != nil {
+			if err := h("sync"); err != nil {
+				return err
+			}
+		}
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// sleep waits for the backoff delay via Options.Sleep or time.Sleep.
+func (s *Store) sleep(d time.Duration) {
+	if s.opts.Sleep != nil {
+		s.opts.Sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // AddJob records a newly accepted job under the daemon's id. It is a
@@ -262,6 +421,9 @@ func (s *Store) append(rec record, sync bool) error {
 func (s *Store) AddJob(id uint64, spec fleet.Job) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	if _, dup := s.jobs[id]; dup {
 		return fmt.Errorf("store: job %d already exists", id)
 	}
@@ -269,7 +431,14 @@ func (s *Store) AddJob(id uint64, spec fleet.Job) error {
 	if !s.apply(record{T: "job", Job: id, Spec: &spec}) {
 		return fmt.Errorf("store: invalid job %d", id)
 	}
-	return s.append(record{T: "job", Job: id, Spec: &spec}, true)
+	if err := s.append(record{T: "job", Job: id, Spec: &spec}, true); err != nil {
+		// The accept never committed: roll the job back out of memory
+		// so a rejected submission leaves no trace (and the id can be
+		// retried once the journal heals).
+		s.apply(record{T: "evict", Job: id})
+		return err
+	}
+	return nil
 }
 
 // RecordChip records one chip's completion. It is a commit point
@@ -277,6 +446,9 @@ func (s *Store) AddJob(id uint64, spec fleet.Job) error {
 func (s *Store) RecordChip(id uint64, chip ChipRecord) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	if s.jobs[id] == nil {
 		return fmt.Errorf("store: unknown job %d", id)
 	}
@@ -291,6 +463,9 @@ func (s *Store) RecordChip(id uint64, chip ChipRecord) error {
 func (s *Store) RecordCheckpoint(id, seed uint64, ticks int, blob []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	j := s.jobs[id]
 	if j == nil {
 		return fmt.Errorf("store: unknown job %d", id)
@@ -308,6 +483,9 @@ func (s *Store) RecordCheckpoint(id, seed uint64, ticks int, blob []byte) error 
 func (s *Store) MarkJobDone(id uint64, completedUnix int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	if s.jobs[id] == nil {
 		return fmt.Errorf("store: unknown job %d", id)
 	}
@@ -321,6 +499,9 @@ func (s *Store) MarkJobDone(id uint64, completedUnix int64) error {
 func (s *Store) EvictJob(id uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	if s.jobs[id] == nil {
 		return fmt.Errorf("store: unknown job %d", id)
 	}
@@ -390,12 +571,17 @@ func (j *JobRecord) clone() JobRecord {
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	return s.compactLocked()
 }
 
 func (s *Store) compactLocked() error {
-	if err := s.enc.Flush(); err != nil {
-		return fmt.Errorf("store: %w", err)
+	if h := s.opts.WriteHook; h != nil {
+		if err := h("compact"); err != nil {
+			return fmt.Errorf("store: compacting: %w", err)
+		}
 	}
 	tmpPath := filepath.Join(s.dir, JournalName+".tmp")
 	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
@@ -403,6 +589,7 @@ func (s *Store) compactLocked() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	w := bufio.NewWriter(tmp)
+	var written int64
 	writeRec := func(rec record) error {
 		line, err := json.Marshal(rec)
 		if err != nil {
@@ -411,6 +598,7 @@ func (s *Store) compactLocked() error {
 		if _, err := w.Write(line); err != nil {
 			return err
 		}
+		written += int64(len(line)) + 1
 		return w.WriteByte('\n')
 	}
 	fail := func(err error) error {
@@ -470,18 +658,17 @@ func (s *Store) compactLocked() error {
 		return fmt.Errorf("store: reopening compacted journal: %w", err)
 	}
 	s.f = f
-	s.enc = bufio.NewWriter(f)
+	s.goodOff = written
 	s.appends = 0
 	return nil
 }
 
-// Close flushes and closes the journal.
+// Close syncs and closes the journal (a no-op for read-only stores).
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.enc.Flush(); err != nil {
-		s.f.Close()
-		return fmt.Errorf("store: %w", err)
+	if s.readOnly {
+		return nil
 	}
 	if !s.opts.NoSync {
 		if err := s.f.Sync(); err != nil {

@@ -21,6 +21,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"eccspec/internal/rng"
 	"eccspec/internal/variation"
@@ -265,6 +266,22 @@ func ByName(name string) (Profile, bool) {
 		}
 	}
 	return Profile{}, false
+}
+
+// Names returns every profile name ByName resolves, sorted — the
+// vocabulary for "unknown workload" error messages and CLI listings.
+func Names() []string {
+	var names []string
+	for _, ps := range Suites() {
+		for _, p := range ps {
+			names = append(names, p.Name)
+		}
+	}
+	for _, p := range []Profile{StressTest(), StressKernel(), Idle()} {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Workload is a running instance of a profile on one core.
