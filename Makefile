@@ -8,7 +8,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X eccspec/internal/version.version=$(VERSION)"
 
-.PHONY: verify build test race vet bench staticcheck chaos fuzz-smoke all
+.PHONY: verify build test race vet bench staticcheck chaos fuzz-smoke cluster-smoke all
 
 all: verify
 
@@ -24,7 +24,14 @@ test:
 # The concurrent packages under the race detector, plus the run loop
 # they are built on (root Simulator and internal/engine).
 race:
-	$(GO) test -race . ./internal/engine/... ./internal/fleet/... ./cmd/eccspecd/...
+	$(GO) test -race . ./internal/engine/... ./internal/fleet/... ./internal/cluster/... ./cmd/eccspecd/...
+
+# Cluster smoke: one coordinator + two worker daemons on localhost, one
+# worker SIGKILLed mid-job, merged results diffed byte-for-byte against
+# a single-node run. Writes a BENCH_cluster.json throughput snapshot.
+cluster-smoke:
+	ECCSPEC_BENCH_OUT=$(CURDIR)/BENCH_cluster.json \
+		$(GO) test ./cmd/eccspecd/ -run TestClusterWorkerKillByteIdenticalResults -count=1 -v
 
 # Staticcheck without taking a module dependency: the CI image resolves
 # the tool at its pinned @latest; run `make staticcheck` locally when

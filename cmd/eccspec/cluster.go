@@ -1,0 +1,122 @@
+package main
+
+// The cluster subcommand: operator views of a coordinator daemon —
+// worker membership and per-job chip placement.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+
+	"eccspec/internal/cluster"
+)
+
+// clusterCmd dispatches `eccspec cluster members|placement`.
+func clusterCmd(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8347", "coordinator base URL")
+	var sub string
+	rest := args
+	if len(rest) > 0 && len(rest[0]) > 0 && rest[0][0] != '-' {
+		sub, rest = rest[0], rest[1:]
+	}
+	var id string
+	if sub == "placement" && len(rest) > 0 && len(rest[0]) > 0 && rest[0][0] != '-' {
+		id, rest = rest[0], rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	switch sub {
+	case "members":
+		return clusterMembers(*addr)
+	case "placement":
+		if id == "" {
+			id = fs.Arg(0)
+		}
+		if id == "" {
+			return fmt.Errorf("cluster placement: fleet id required (e.g. f-1)")
+		}
+		return clusterPlacement(*addr, id)
+	default:
+		return fmt.Errorf("cluster: unknown subcommand %q (want members or placement)", sub)
+	}
+}
+
+// clusterGet fetches a coordinator endpoint into v, surfacing the
+// server's JSON error message on a non-200.
+func clusterGet(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", url, e.Error)
+		}
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.Unmarshal(body, v)
+}
+
+// clusterMembers prints the coordinator's worker table.
+func clusterMembers(addr string) error {
+	var out struct {
+		Workers []cluster.MemberView `json:"workers"`
+	}
+	if err := clusterGet(addr+cluster.PathMembers, &out); err != nil {
+		return err
+	}
+	if len(out.Workers) == 0 {
+		fmt.Println("no workers registered")
+		return nil
+	}
+	fmt.Printf("%-20s %-10s %6s %9s %10s %8s  %s\n",
+		"ID", "STATE", "SLOTS", "DONE", "IN-FLIGHT", "BEAT-AGO", "URL")
+	for _, w := range out.Workers {
+		state := w.State
+		if w.Reason != "" {
+			state += " (" + w.Reason + ")"
+		}
+		fmt.Printf("%-20s %-10s %6d %9d %10d %7.1fs  %s\n",
+			w.ID, state, w.Slots, w.ChipsDone, w.ChipsInFlight, w.LastBeatAgoS, w.URL)
+	}
+	return nil
+}
+
+// clusterPlacement prints which worker each of a fleet's seeds was last
+// assigned to.
+func clusterPlacement(addr, id string) error {
+	var out struct {
+		ID        string            `json:"id"`
+		Status    string            `json:"status"`
+		Placement map[uint64]string `json:"placement"`
+	}
+	if err := clusterGet(addr+"/v1/cluster/jobs/"+id+"/placement", &out); err != nil {
+		return err
+	}
+	fmt.Printf("fleet %s (%s): %d placed seeds\n", out.ID, out.Status, len(out.Placement))
+	seeds := make([]uint64, 0, len(out.Placement))
+	for s := range out.Placement {
+		seeds = append(seeds, s)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	w := os.Stdout
+	for _, s := range seeds {
+		fmt.Fprintf(w, "%-20s %s\n", strconv.FormatUint(s, 10), out.Placement[s])
+	}
+	return nil
+}

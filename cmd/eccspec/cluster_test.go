@@ -1,0 +1,81 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// stubCoordinator serves canned membership and placement responses.
+func stubCoordinator(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster/members", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"workers":[
+			{"id":"w1","url":"http://h1:1","state":"healthy","slots":4,"age_s":60,"last_heartbeat_ago_s":1.5,"chips_done":12,"chips_in_flight":2},
+			{"id":"w2","url":"http://h2:1","state":"dead","reason":"heartbeat TTL expired","slots":2,"age_s":60,"last_heartbeat_ago_s":31,"chips_done":3,"chips_in_flight":0}
+		]}`))
+	})
+	mux.HandleFunc("GET /v1/cluster/jobs/f-1/placement", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"f-1","status":"done","placement":{"81":"w1","82":"w2","83":"w1"}}`))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"no fleet \"f-9\""}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClusterMembersCommand(t *testing.T) {
+	ts := stubCoordinator(t)
+	out, err := capture(t, func() error {
+		return run([]string{"cluster", "members", "-addr", ts.URL})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"w1", "healthy", "w2", "dead (heartbeat TTL expired)", "http://h1:1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("members output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClusterPlacementCommand(t *testing.T) {
+	ts := stubCoordinator(t)
+	out, err := capture(t, func() error {
+		return run([]string{"cluster", "placement", "f-1", "-addr", ts.URL})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fleet f-1 (done): 3 placed seeds") {
+		t.Errorf("placement header wrong:\n%s", out)
+	}
+	// Seeds print in ascending order with their workers.
+	i81, i82, i83 := strings.Index(out, "81"), strings.Index(out, "82"), strings.Index(out, "83")
+	if i81 < 0 || i82 < i81 || i83 < i82 {
+		t.Errorf("placement rows out of order:\n%s", out)
+	}
+}
+
+func TestClusterCommandErrors(t *testing.T) {
+	ts := stubCoordinator(t)
+	if err := run([]string{"cluster"}); err == nil || !strings.Contains(err.Error(), "unknown subcommand") {
+		t.Errorf("bare cluster: err = %v", err)
+	}
+	if err := run([]string{"cluster", "placement", "-addr", ts.URL}); err == nil ||
+		!strings.Contains(err.Error(), "fleet id required") {
+		t.Errorf("placement without id: err = %v", err)
+	}
+	// A coordinator-side error surfaces its JSON message.
+	err := run([]string{"cluster", "placement", "f-9", "-addr", ts.URL})
+	if err == nil || !strings.Contains(err.Error(), "no fleet") {
+		t.Errorf("missing fleet: err = %v", err)
+	}
+}

@@ -11,6 +11,8 @@
 //	eccspec report [-fast]       # Markdown summary of every experiment
 //	eccspec chaos list           # fault-injection scenario catalog
 //	eccspec chaos <scenario>     # replay a scenario deterministically
+//	eccspec cluster members [-addr URL]
+//	eccspec cluster placement <fleet-id> [-addr URL]
 //	eccspec version
 //
 // Each experiment id corresponds to one table or figure of the paper
@@ -82,6 +84,8 @@ func runCtx(ctx context.Context, args []string) error {
 		return reportCmd(ctx, args[1:])
 	case "chaos":
 		return chaosCmd(ctx, args[1:])
+	case "cluster":
+		return clusterCmd(args[1:])
 	case "version", "-version", "--version":
 		fmt.Printf("eccspec %s\n", version.String())
 		return nil
@@ -427,5 +431,7 @@ func usage() {
   eccspec report [-seed N] [-full] [-fast]
   eccspec chaos list
   eccspec chaos <scenario>|-plan f [-seed N] [-seconds S] [-workload W]
+  eccspec cluster members [-addr URL]
+  eccspec cluster placement <fleet-id> [-addr URL]
   eccspec version`)
 }

@@ -7,7 +7,10 @@
 //
 //	eccspecd [-addr host:port] [-workers N] [-queue N] [-drain-timeout D]
 //	         [-data-dir DIR] [-checkpoint-interval N]
-//	         [-retention D] [-max-jobs N] [-chaos-plan FILE] [-version]
+//	         [-retention D] [-max-jobs N] [-chaos-plan FILE]
+//	         [-coordinator | -join URL] [-worker-id ID] [-public-url URL]
+//	         [-heartbeat D] [-worker-ttl D] [-worker-wait D]
+//	         [-cluster-batch N] [-version]
 //
 // With -data-dir, the daemon journals every accepted job, per-chip
 // result, and periodic simulator checkpoint to DIR/journal.jsonl with
@@ -28,15 +31,31 @@
 // every run — simulated hardware faults and journal I/O faults alike —
 // for resilience testing.
 //
+// Cluster mode scales a fleet past one box. A -coordinator daemon
+// accepts the same /v1/fleets API but shards each job's chips across
+// the worker daemons registered with it, stealing work from loaded
+// workers for idle ones and migrating in-flight chips (with their
+// freshest checkpoints) off dead or degraded workers — merged results
+// stay byte-identical to a single-node run. A -join URL daemon is a
+// worker: it registers with the coordinator, heartbeats its health, and
+// executes dispatched chip ranges. With -data-dir, a coordinator also
+// journals jobs and chip placement, so restarting it resumes the job as
+// its workers re-register.
+//
 // Endpoints:
 //
-//	POST /v1/fleets               submit a fleet job
-//	GET  /v1/fleets               list jobs
-//	GET  /v1/fleets/{id}          job status and progress
-//	GET  /v1/fleets/{id}/results  aggregated + per-chip results
-//	GET  /v1/fleets/{id}/trace    per-tick telemetry as CSV
-//	GET  /metrics                 Prometheus text format
-//	GET  /healthz                 liveness (status, version, persistence)
+//	POST /v1/fleets                         submit a fleet job
+//	GET  /v1/fleets                         list jobs
+//	GET  /v1/fleets/{id}                    job status and progress
+//	GET  /v1/fleets/{id}/results            aggregated + per-chip results
+//	GET  /v1/fleets/{id}/trace              per-tick telemetry as CSV (streamed)
+//	GET  /metrics                           Prometheus text format
+//	GET  /healthz                           liveness (status, version, role, cluster)
+//	POST /v1/cluster/register               (coordinator) worker registration
+//	POST /v1/cluster/heartbeat              (coordinator) worker liveness
+//	GET  /v1/cluster/members                (coordinator) membership listing
+//	GET  /v1/cluster/jobs/{id}/placement    (coordinator) seed -> worker map
+//	POST /v1/cluster/exec                   (worker) execute a chip range
 //
 // On SIGINT/SIGTERM the daemon stops accepting jobs, drains everything
 // already accepted (up to -drain-timeout, then cancels), and exits.
@@ -54,28 +73,68 @@ import (
 	"syscall"
 	"time"
 
+	"eccspec/internal/cluster"
 	"eccspec/internal/faultinject"
 	"eccspec/internal/fleet"
 	"eccspec/internal/store"
 	"eccspec/internal/version"
 )
 
+// options carries every flag; run consumes it whole so the flag list
+// can grow without the call signature keeping pace.
+type options struct {
+	addr               string
+	workers            int
+	queueDepth         int
+	drainTimeout       time.Duration
+	dataDir            string
+	checkpointInterval int
+	retention          time.Duration
+	maxJobs            int
+	chaosPlan          string
+
+	coordinator  bool
+	join         string
+	workerID     string
+	publicURL    string
+	heartbeat    time.Duration
+	workerTTL    time.Duration
+	workerWait   time.Duration
+	clusterBatch int
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8347", "listen address")
-	workers := flag.Int("workers", 0, "concurrent chip simulations (0 = GOMAXPROCS)")
-	queue := flag.Int("queue", 16, "max accepted-but-unstarted fleet jobs")
-	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute,
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8347", "listen address")
+	flag.IntVar(&o.workers, "workers", 0, "concurrent chip simulations (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queueDepth, "queue", 16, "max accepted-but-unstarted fleet jobs")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Minute,
 		"how long shutdown waits for in-flight jobs before cancelling them")
-	dataDir := flag.String("data-dir", "",
+	flag.StringVar(&o.dataDir, "data-dir", "",
 		"directory for the crash-safe job journal (empty = in-memory only)")
-	checkpointInterval := flag.Int("checkpoint-interval", 1000,
+	flag.IntVar(&o.checkpointInterval, "checkpoint-interval", 1000,
 		"ticks between per-chip checkpoints when -data-dir is set (0 disables)")
-	retention := flag.Duration("retention", 0,
+	flag.DurationVar(&o.retention, "retention", 0,
 		"evict completed jobs this long after they finish (0 = keep forever)")
-	maxJobs := flag.Int("max-jobs", 0,
+	flag.IntVar(&o.maxJobs, "max-jobs", 0,
 		"max completed jobs retained, oldest evicted first (0 = unlimited)")
-	chaosPlan := flag.String("chaos-plan", "",
+	flag.StringVar(&o.chaosPlan, "chaos-plan", "",
 		"JSON fault-injection plan applied to every run (see internal/faultinject)")
+	flag.BoolVar(&o.coordinator, "coordinator", false,
+		"run as a cluster coordinator: shard fleets across joined workers")
+	flag.StringVar(&o.join, "join", "",
+		"coordinator URL to join as a worker (e.g. http://coord:8347)")
+	flag.StringVar(&o.workerID, "worker-id", "",
+		"this worker's cluster identity (default hostname-pid)")
+	flag.StringVar(&o.publicURL, "public-url", "",
+		"base URL the coordinator dials this worker back on (default http://<listen addr>)")
+	flag.DurationVar(&o.heartbeat, "heartbeat", 2*time.Second,
+		"worker heartbeat interval in cluster mode")
+	flag.DurationVar(&o.workerTTL, "worker-ttl", cluster.DefaultTTL,
+		"coordinator declares a worker dead after this long without a heartbeat")
+	flag.DurationVar(&o.workerWait, "worker-wait", 30*time.Second,
+		"how long a coordinator job waits for a healthy worker before failing")
+	flag.IntVar(&o.clusterBatch, "cluster-batch", 16, "max chips per cluster dispatch")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -83,26 +142,26 @@ func main() {
 		fmt.Printf("eccspecd %s\n", version.String())
 		return
 	}
-	if err := run(*addr, *workers, *queue, *drainTimeout,
-		*dataDir, *checkpointInterval, *retention, *maxJobs, *chaosPlan); err != nil {
+	if err := run(o); err != nil {
 		log.Fatalf("eccspecd: %v", err)
 	}
 }
 
-func run(addr string, workers, queueDepth int, drainTimeout time.Duration,
-	dataDir string, checkpointInterval int, retention time.Duration, maxJobs int,
-	chaosPlan string) error {
-	engine := fleet.New(fleet.Config{Workers: workers})
+func run(o options) error {
+	if o.coordinator && o.join != "" {
+		return fmt.Errorf("-coordinator and -join are mutually exclusive")
+	}
+	engine := fleet.New(fleet.Config{Workers: o.workers})
 
 	cfg := serverConfig{
-		queueDepth:      queueDepth,
-		checkpointEvery: checkpointInterval,
-		retention:       retention,
-		maxJobs:         maxJobs,
+		queueDepth:      o.queueDepth,
+		checkpointEvery: o.checkpointInterval,
+		retention:       o.retention,
+		maxJobs:         o.maxJobs,
 	}
 	var storeOpts store.Options
-	if chaosPlan != "" {
-		plan, err := faultinject.LoadPlan(chaosPlan)
+	if o.chaosPlan != "" {
+		plan, err := faultinject.LoadPlan(o.chaosPlan)
 		if err != nil {
 			return err
 		}
@@ -114,15 +173,15 @@ func run(addr string, workers, queueDepth int, drainTimeout time.Duration,
 		storeOpts.WriteHook = in.StoreHook()
 		storeOpts.Retry.JitterSeed = plan.Seed
 		log.Printf("eccspecd: chaos plan %s armed (%d faults, seed %d)",
-			chaosPlan, len(plan.Faults), plan.Seed)
+			o.chaosPlan, len(plan.Faults), plan.Seed)
 	}
-	if dataDir != "" {
-		st, err := store.Open(dataDir, storeOpts)
+	if o.dataDir != "" {
+		st, err := store.Open(o.dataDir, storeOpts)
 		if err != nil {
 			// A data dir we cannot write (permissions, full or failing
 			// disk) must not keep recorded results hostage: fall back to
 			// read-only recovery and serve them in degraded mode.
-			ro, roErr := store.OpenReadOnly(dataDir)
+			ro, roErr := store.OpenReadOnly(o.dataDir)
 			if roErr != nil {
 				return err
 			}
@@ -131,32 +190,96 @@ func run(addr string, workers, queueDepth int, drainTimeout time.Duration,
 		}
 		defer st.Close()
 		cfg.store = st
-		log.Printf("eccspecd: journaling to %s (checkpoint every %d ticks)", dataDir, checkpointInterval)
+		log.Printf("eccspecd: journaling to %s (checkpoint every %d ticks)", o.dataDir, o.checkpointInterval)
 	}
-	s := newServer(engine, cfg)
 
-	ln, err := net.Listen("tcp", addr)
+	// Pick the runner: jobs simulate on the local worker pool, unless
+	// this daemon coordinates a cluster — then they shard across it.
+	var jobRunner runner = engine
+	if o.coordinator {
+		coord := cluster.New(cluster.Config{
+			Membership: cluster.NewMembership(o.workerTTL),
+			MaxBatch:   o.clusterBatch,
+			WorkerWait: o.workerWait,
+		})
+		cfg.coordinator = coord
+		jobRunner = coord
+	}
+	if o.join != "" {
+		cfg.executor = &cluster.Executor{Engine: engine}
+		cfg.coordinatorURL = o.join
+	}
+	s := newServer(jobRunner, cfg)
+
+	// Install the signal handler before announcing the address: tooling
+	// (and tests) treat the "listening on" line as ready-to-signal, so a
+	// SIGTERM must never hit the default kill action after it prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("eccspecd: %s listening on %s (%d sim workers)", version.String(), ln.Addr(), engine.Workers())
+	switch {
+	case o.coordinator:
+		log.Printf("eccspecd: %s coordinator listening on %s", version.String(), ln.Addr())
+	case o.join != "":
+		log.Printf("eccspecd: %s worker listening on %s (%d sim workers, coordinator %s)",
+			version.String(), ln.Addr(), engine.Workers(), o.join)
+	default:
+		log.Printf("eccspecd: %s listening on %s (%d sim workers)", version.String(), ln.Addr(), engine.Workers())
+	}
 
 	// Slow-client protection: a stalled or malicious peer must not pin
 	// connections (and eventually file descriptors) forever. Writes get
 	// the most room — result payloads for large fleets take a while on
-	// slow links.
+	// slow links. A cluster worker gets no write timeout at all: its
+	// exec streams legitimately stay open for as long as a batch
+	// simulates, and cutting one mid-batch would force a pointless
+	// migration.
+	writeTimeout := 5 * time.Minute
+	if o.join != "" {
+		writeTimeout = 0
+	}
 	hs := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
-		WriteTimeout:      5 * time.Minute,
+		WriteTimeout:      writeTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// A worker announces itself to its coordinator once the listener is
+	// up, then heartbeats until shutdown.
+	if o.join != "" {
+		id := o.workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "worker"
+			}
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		pub := o.publicURL
+		if pub == "" {
+			pub = "http://" + ln.Addr().String()
+		}
+		go cluster.RunMember(ctx, cluster.MemberConfig{
+			Coordinator: o.join,
+			Interval:    o.heartbeat,
+			Degraded:    s.health,
+			Info: cluster.RegisterRequest{
+				ID:      id,
+				URL:     pub,
+				Slots:   engine.Workers(),
+				Version: version.String(),
+			},
+		})
+	}
+
 	select {
 	case err := <-serveErr:
 		return fmt.Errorf("serve: %w", err)
@@ -164,12 +287,12 @@ func run(addr string, workers, queueDepth int, drainTimeout time.Duration,
 	}
 	stop() // a second signal now kills the process outright
 
-	log.Printf("eccspecd: shutdown signal; draining in-flight jobs (timeout %v)", drainTimeout)
+	log.Printf("eccspecd: shutdown signal; draining in-flight jobs (timeout %v)", o.drainTimeout)
 	s.beginDrain()
 	select {
 	case <-s.drained():
 		log.Printf("eccspecd: drained cleanly")
-	case <-time.After(drainTimeout):
+	case <-time.After(o.drainTimeout):
 		log.Printf("eccspecd: drain timeout; cancelling in-flight jobs")
 		s.cancelJobs()
 		<-s.drained()

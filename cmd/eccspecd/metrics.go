@@ -23,10 +23,24 @@ type metrics struct {
 
 func newMetrics() *metrics { return &metrics{start: time.Now()} }
 
+// clusterScrape is the coordinator's scheduling state sampled at scrape
+// time; nil when the daemon is not a coordinator.
+type clusterScrape struct {
+	workersHealthy  int
+	workersDegraded int
+	workersDead     int
+	dispatches      int64
+	chipsDone       int64
+	remoteTicks     int64
+	chipsStolen     int64
+	chipsMigrated   int64
+}
+
 // write renders the Prometheus text exposition format (version 0.0.4).
 // queued and running are the current job-table gauges; degraded and
-// storeRetries reflect journal health at scrape time.
-func (m *metrics) write(w io.Writer, queued, running int, degraded bool, storeRetries int64) {
+// storeRetries reflect journal health at scrape time; cl, when non-nil,
+// adds the coordinator's cluster section.
+func (m *metrics) write(w io.Writer, queued, running int, degraded bool, storeRetries int64, cl *clusterScrape) {
 	up := time.Since(m.start).Seconds()
 	ticks := m.simTicks.Load()
 	rate := 0.0
@@ -56,4 +70,14 @@ func (m *metrics) write(w io.Writer, queued, running int, degraded bool, storeRe
 	counter("eccspecd_sim_ticks_total", "Control ticks simulated across all fleets.", ticks)
 	gauge("eccspecd_sim_ticks_per_second", "Lifetime average simulation throughput.", rate)
 	gauge("eccspecd_uptime_seconds", "Seconds since the daemon started.", up)
+	if cl != nil {
+		gauge("eccspecd_cluster_workers_healthy", "Registered workers accepting work.", float64(cl.workersHealthy))
+		gauge("eccspecd_cluster_workers_degraded", "Registered workers reporting degraded; no new work.", float64(cl.workersDegraded))
+		gauge("eccspecd_cluster_workers_dead", "Registered workers past the heartbeat TTL or failed mid-batch.", float64(cl.workersDead))
+		counter("eccspecd_cluster_dispatches_total", "Chip batches dispatched to workers.", cl.dispatches)
+		counter("eccspecd_cluster_chips_done_total", "Chips completed on remote workers.", cl.chipsDone)
+		counter("eccspecd_cluster_remote_ticks_total", "Control ticks simulated on remote workers.", cl.remoteTicks)
+		counter("eccspecd_cluster_chips_stolen_total", "Chips moved from a loaded worker's queue to an idle one.", cl.chipsStolen)
+		counter("eccspecd_cluster_chips_migrated_total", "In-flight chips re-queued off a dead or degraded worker.", cl.chipsMigrated)
+	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -13,12 +14,21 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eccspec/internal/cluster"
 	"eccspec/internal/engine"
 	"eccspec/internal/faultinject"
 	"eccspec/internal/fleet"
 	"eccspec/internal/store"
 	"eccspec/internal/version"
 )
+
+// runner abstracts where a fleet's chips actually simulate: the local
+// worker pool (fleet.Engine) or a cluster of worker daemons
+// (cluster.Coordinator). Both return ordered, byte-identical results,
+// so the rest of the daemon cannot tell them apart.
+type runner interface {
+	Run(ctx context.Context, job fleet.Job, onProgress func(done, total int)) ([]fleet.ChipResult, error)
+}
 
 // maxFleetChips bounds a single submission so one request cannot pin
 // the daemon's memory with millions of per-chip results.
@@ -114,6 +124,16 @@ type serverConfig struct {
 	// injector, when non-nil, delivers a chaos plan's simulated-hardware
 	// faults into every chip run (-chaos-plan).
 	injector *faultinject.Injector
+	// coordinator, when non-nil, marks this daemon a cluster
+	// coordinator: jobs run through it instead of the local engine,
+	// and the /v1/cluster registry endpoints are served.
+	coordinator *cluster.Coordinator
+	// executor, when non-nil, marks this daemon a cluster worker: it
+	// serves POST /v1/cluster/exec for its coordinator.
+	executor *cluster.Executor
+	// coordinatorURL is the coordinator a worker daemon reports to
+	// (shown on /healthz).
+	coordinatorURL string
 	// now substitutes the clock (tests); nil selects time.Now.
 	now func() time.Time
 }
@@ -125,7 +145,7 @@ type serverConfig struct {
 // completed fleets serve their recorded results, and unfinished fleets
 // re-enter the queue to continue from their last checkpoints.
 type server struct {
-	engine  *fleet.Engine
+	engine  runner
 	metrics *metrics
 	mux     *http.ServeMux
 	cfg     serverConfig
@@ -143,8 +163,10 @@ type server struct {
 	// degraded is set while the journal cannot take writes (persistent
 	// I/O failure or a read-only data dir): existing results keep being
 	// served, new submissions get 503 + Retry-After, and the flag clears
-	// on the next successful commit.
-	degraded atomic.Bool
+	// on the next successful commit. degradedReason holds the cause
+	// (a string) for /healthz and cluster heartbeats.
+	degraded       atomic.Bool
+	degradedReason atomic.Value
 
 	queue      chan *fleetJob
 	runnerDone chan struct{}
@@ -152,7 +174,7 @@ type server struct {
 
 // newServer wires the routes, recovers persisted jobs, and starts the
 // runner.
-func newServer(engine *fleet.Engine, cfg serverConfig) *server {
+func newServer(engine runner, cfg serverConfig) *server {
 	if cfg.queueDepth <= 0 {
 		cfg.queueDepth = 16
 	}
@@ -171,6 +193,7 @@ func newServer(engine *fleet.Engine, cfg serverConfig) *server {
 		jobs:       make(map[string]*fleetJob),
 		runnerDone: make(chan struct{}),
 	}
+	s.degradedReason.Store("")
 
 	// Recover persisted jobs before sizing the queue: every unfinished
 	// job must fit back into it without blocking startup.
@@ -178,6 +201,7 @@ func newServer(engine *fleet.Engine, cfg serverConfig) *server {
 	if cfg.store != nil {
 		if cfg.store.ReadOnly() {
 			s.degraded.Store(true)
+			s.degradedReason.Store("data directory is read-only")
 			log.Printf("eccspecd: data dir is read-only; serving existing results only (degraded)")
 		}
 		resume = s.recover()
@@ -199,8 +223,45 @@ func newServer(engine *fleet.Engine, cfg serverConfig) *server {
 	s.mux.HandleFunc("GET /v1/fleets/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.coordinator != nil {
+		s.mux.HandleFunc("POST "+cluster.PathRegister, s.handleClusterRegister)
+		s.mux.HandleFunc("POST "+cluster.PathHeartbeat, s.handleClusterHeartbeat)
+		s.mux.HandleFunc("GET "+cluster.PathMembers, s.handleClusterMembers)
+		s.mux.HandleFunc("GET /v1/cluster/jobs/{id}/placement", s.handleClusterPlacement)
+	}
+	if cfg.executor != nil {
+		// The worker shares its local observability with dispatched
+		// chips: tick metrics move and a configured chaos plan fires
+		// exactly as for locally submitted fleets.
+		cfg.executor.Observers = s.chipObservers
+		s.mux.HandleFunc("POST "+cluster.PathExec, s.handleClusterExec)
+	}
 	go s.runner()
 	return s
+}
+
+// role names what this daemon is in a cluster, if anything.
+func (s *server) role() string {
+	switch {
+	case s.cfg.coordinator != nil:
+		return "coordinator"
+	case s.cfg.executor != nil:
+		return "worker"
+	default:
+		return ""
+	}
+}
+
+// chipObservers builds the per-chip engine observers every simulation
+// on this daemon carries — local fleets and cluster-dispatched chips
+// alike: batched tick counting for /metrics, plus the chaos injector
+// when one is armed.
+func (s *server) chipObservers(seed uint64) []engine.Observer {
+	obs := []engine.Observer{&engine.CountTicks{Add: func(delta int64) { s.metrics.simTicks.Add(delta) }}}
+	if in := s.cfg.injector; in != nil {
+		obs = append(obs, in.Observer(seed))
+	}
+	return obs
 }
 
 // recover rebuilds the job table from the store: completed jobs come
@@ -354,13 +415,21 @@ func (s *server) cancelJobs() { s.cancelRun() }
 // mode, the next success lifts it. Returns err for convenience.
 func (s *server) noteStore(err error) error {
 	if err != nil {
+		s.degradedReason.Store("journal write failed: " + err.Error())
 		if !s.degraded.Swap(true) {
 			log.Printf("eccspecd: journal write failed; entering degraded mode: %v", err)
 		}
 	} else if s.degraded.Swap(false) {
+		s.degradedReason.Store("")
 		log.Printf("eccspecd: journal writes recovered; leaving degraded mode")
 	}
 	return err
+}
+
+// health reports the degraded flag together with its cause.
+func (s *server) health() (degraded bool, reason string) {
+	reason, _ = s.degradedReason.Load().(string)
+	return s.degraded.Load(), reason
 }
 
 // runner executes queued fleets one at a time; each fleet fans its
@@ -422,19 +491,26 @@ func (s *server) runJob(j *fleetJob) {
 				log.Printf("eccspecd: recording %s seed %d: %v", j.ID, res.Seed, err)
 			}
 		}
+		// Cluster placement rides the journal too (the coordinator
+		// calls OnAssign on every dispatch; the local engine never
+		// does), so `eccspec cluster placement` works across a
+		// coordinator restart. Not a commit point — losing one costs
+		// placement history only.
+		job.OnAssign = func(seed uint64, worker string) {
+			if err := s.noteStore(st.RecordAssignment(j.Num, seed, worker)); err != nil {
+				log.Printf("eccspecd: recording assignment %s seed %d -> %s: %v", j.ID, seed, worker, err)
+			}
+		}
 	}
 
 	// Live simulation telemetry: each chip's run carries a batched
 	// tick-counting observer feeding the Prometheus counter, so
 	// /metrics moves while fleets are in flight instead of jumping at
 	// job completion. A configured chaos plan rides the same hook.
-	job.Observers = func(seed uint64) []engine.Observer {
-		obs := []engine.Observer{&engine.CountTicks{Add: func(delta int64) { s.metrics.simTicks.Add(delta) }}}
-		if in := s.cfg.injector; in != nil {
-			obs = append(obs, in.Observer(seed))
-		}
-		return obs
-	}
+	// (In coordinator mode the chips simulate on the workers, which
+	// wire the same observers into their own runs; the coordinator
+	// ignores this hook.)
+	job.Observers = s.chipObservers
 
 	priorDone := len(prior)
 	s.mu.Lock()
@@ -754,21 +830,51 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Stream the CSV in chunks instead of letting it pile up in the
+	// response buffer: a million-chip trace is gigabytes, so rows are
+	// rendered into a small reused buffer and pushed to the client
+	// (bufio flush + http.Flusher) every traceFlushRows rows. The
+	// daemon's memory use is bounded by one chunk regardless of fleet
+	// size, and slow clients see data immediately.
 	w.Header().Set("Content-Type", "text/csv")
-	fmt.Fprintf(w, "seed,time,%s\n", joinColumns())
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	fmt.Fprintf(bw, "seed,time,%s\n", joinColumns())
+	rows := 0
+	var buf []byte
 	for _, c := range results {
 		if c.Trace == nil || (seedFilter != nil && c.Seed != *seedFilter) {
 			continue
 		}
 		for i := 0; i < c.Trace.Len(); i++ {
-			fmt.Fprintf(w, "%d,%g", c.Seed, c.Trace.Time(i))
+			buf = strconv.AppendUint(buf[:0], c.Seed, 10)
+			buf = append(buf, ',')
+			buf = strconv.AppendFloat(buf, c.Trace.Time(i), 'g', -1, 64)
 			for col := range fleet.TraceColumns {
-				fmt.Fprintf(w, ",%g", c.Trace.Value(i, col))
+				buf = append(buf, ',')
+				buf = strconv.AppendFloat(buf, c.Trace.Value(i, col), 'g', -1, 64)
 			}
-			fmt.Fprintln(w)
+			buf = append(buf, '\n')
+			if _, err := bw.Write(buf); err != nil {
+				return // client went away; nothing sensible left to do
+			}
+			rows++
+			if rows%traceFlushRows == 0 {
+				if err := bw.Flush(); err != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
 		}
 	}
+	bw.Flush()
 }
+
+// traceFlushRows is how many CSV rows accumulate between explicit
+// flushes of the trace stream.
+const traceFlushRows = 4096
 
 func joinColumns() string {
 	out := ""
@@ -797,25 +903,57 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.store != nil {
 		retries = s.cfg.store.Retries()
 	}
+	var cl *clusterScrape
+	if c := s.cfg.coordinator; c != nil {
+		st := c.Stats()
+		cl = &clusterScrape{
+			dispatches:    st.Dispatches,
+			chipsDone:     st.ChipsDone,
+			remoteTicks:   st.RemoteTicks,
+			chipsStolen:   st.ChipsStolen,
+			chipsMigrated: st.ChipsMigrated,
+		}
+		cl.workersHealthy, cl.workersDegraded, cl.workersDead = c.Membership().Counts()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, queued, running, s.degraded.Load(), retries)
+	s.metrics.write(w, queued, running, s.degraded.Load(), retries, cl)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	degraded, reason := s.health()
 	status := "ok"
 	switch {
 	case draining:
 		status = "draining"
-	case s.degraded.Load():
+	case degraded:
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":     status,
 		"version":    version.String(),
 		"persistent": s.cfg.store != nil,
-		"degraded":   s.degraded.Load(),
-	})
+		"degraded":   degraded,
+	}
+	if degraded {
+		resp["degraded_reason"] = reason
+	}
+	if role := s.role(); role != "" {
+		resp["role"] = role
+	}
+	if c := s.cfg.coordinator; c != nil {
+		healthy, deg, dead := c.Membership().Counts()
+		resp["cluster"] = map[string]any{
+			"workers_total":    healthy + deg + dead,
+			"workers_healthy":  healthy,
+			"workers_degraded": deg,
+			"workers_dead":     dead,
+		}
+	}
+	if s.cfg.executor != nil {
+		resp["coordinator"] = s.cfg.coordinatorURL
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,515 @@
+package cluster
+
+// Coordinator: the multi-node counterpart of fleet.Engine. Run has the
+// same shape as fleet.Engine.Run — same job type, same ordered result
+// slice, same hook surface — so the daemon's job runner can drive a
+// cluster exactly the way it drives a local worker pool.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eccspec/internal/fleet"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Membership is the worker registry the coordinator schedules
+	// over (required).
+	Membership *Membership
+	// Client substitutes the dispatch HTTP client; nil selects one
+	// with no overall timeout (exec streams are long-lived).
+	Client *http.Client
+	// MaxBatch caps chips per dispatch; <= 0 selects 16. A worker's
+	// batch is min(its registered slots, MaxBatch), so one dispatch
+	// keeps the worker's whole pool busy without hoarding chips that
+	// an idle peer could steal.
+	MaxBatch int
+	// WorkerWait bounds how long a run waits for a healthy worker —
+	// at the start, and again whenever the whole population dies
+	// mid-job; <= 0 selects 30s.
+	WorkerWait time.Duration
+	// Poll is the membership rescan interval while a job runs: how
+	// quickly dead workers are detected beyond stream errors, and how
+	// quickly late joiners are put to work; <= 0 selects 250ms.
+	Poll time.Duration
+	// Logf substitutes the logger; nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Stats are the coordinator's cumulative scheduling counters.
+type Stats struct {
+	// Dispatches counts exec calls sent to workers.
+	Dispatches int64
+	// ChipsDone counts chips completed remotely.
+	ChipsDone int64
+	// RemoteTicks sums the control ticks those chips simulated.
+	RemoteTicks int64
+	// ChipsStolen counts chips moved from a loaded worker's deque to
+	// an idle one.
+	ChipsStolen int64
+	// ChipsMigrated counts in-flight chips re-queued off a dead or
+	// degraded worker.
+	ChipsMigrated int64
+}
+
+// Coordinator shards fleet jobs across the membership's workers.
+type Coordinator struct {
+	cfg    Config
+	client *http.Client
+	logf   func(format string, args ...any)
+
+	dispatches atomic.Int64
+	chipsDone  atomic.Int64
+	ticks      atomic.Int64
+
+	mu           sync.Mutex
+	live         *runState // current run, nil between jobs
+	baseStolen   int64     // folded-in counters of finished runs
+	baseMigrated int64
+}
+
+// New builds a coordinator over the membership.
+func New(cfg Config) *Coordinator {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.WorkerWait <= 0 {
+		cfg.WorkerWait = 30 * time.Second
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 250 * time.Millisecond
+	}
+	c := &Coordinator{cfg: cfg, client: cfg.Client, logf: cfg.Logf}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	if c.logf == nil {
+		c.logf = log.Printf
+	}
+	return c
+}
+
+// Membership returns the worker registry the coordinator schedules
+// over.
+func (c *Coordinator) Membership() *Membership { return c.cfg.Membership }
+
+// Stats returns the cumulative scheduling counters, live run included.
+func (c *Coordinator) Stats() Stats {
+	s := Stats{
+		Dispatches:  c.dispatches.Load(),
+		ChipsDone:   c.chipsDone.Load(),
+		RemoteTicks: c.ticks.Load(),
+	}
+	c.mu.Lock()
+	s.ChipsStolen, s.ChipsMigrated = c.baseStolen, c.baseMigrated
+	if c.live != nil {
+		st, mg := c.live.sched.stats()
+		s.ChipsStolen += st
+		s.ChipsMigrated += mg
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// Placement returns the current run's live seed→worker placement
+// (latest assignment wins; migrated chips show their new home), or nil
+// when no job is running.
+func (c *Coordinator) Placement() map[uint64]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.live == nil {
+		return nil
+	}
+	return c.live.placementCopy()
+}
+
+// InFlightOn counts chips currently dispatched to worker id.
+func (c *Coordinator) InFlightOn(id string) int {
+	c.mu.Lock()
+	run := c.live
+	c.mu.Unlock()
+	if run == nil {
+		return 0
+	}
+	return run.sched.inFlightOn(id)
+}
+
+// runState is the shared state of one Run: the job, the ordered result
+// slice, the freshest checkpoint per unfinished seed, and the
+// scheduler.
+type runState struct {
+	job        fleet.Job
+	idx        map[uint64]int // seed -> result position
+	results    []fleet.ChipResult
+	sched      *scheduler
+	onProgress func(done, total int)
+
+	ckptMu sync.Mutex
+	ckpts  map[uint64][]byte // freshest checkpoint per unfinished seed
+
+	placeMu   sync.Mutex
+	placement map[uint64]string
+
+	emitMu sync.Mutex // serializes result delivery + callbacks
+}
+
+// deliver records one finished chip exactly once: the first completion
+// wins (a migration can race a chip onto two workers), the duplicate
+// is dropped. Returns whether this was the first.
+func (r *runState) deliver(res fleet.ChipResult) bool {
+	i, ok := r.idx[res.Seed]
+	if !ok {
+		return false
+	}
+	r.emitMu.Lock()
+	defer r.emitMu.Unlock()
+	first, done := r.sched.claimComplete(i)
+	if !first {
+		return false
+	}
+	r.results[i] = res
+	if r.job.OnResult != nil {
+		r.job.OnResult(res)
+	}
+	if r.onProgress != nil {
+		r.onProgress(done, len(r.results))
+	}
+	r.ckptMu.Lock()
+	delete(r.ckpts, res.Seed)
+	r.ckptMu.Unlock()
+	return true
+}
+
+// placementCopy snapshots the live placement map.
+func (r *runState) placementCopy() map[uint64]string {
+	r.placeMu.Lock()
+	defer r.placeMu.Unlock()
+	out := make(map[uint64]string, len(r.placement))
+	for k, v := range r.placement {
+		out[k] = v
+	}
+	return out
+}
+
+// failRemaining stamps err on every chip that never completed.
+func (r *runState) failRemaining(err error) {
+	r.emitMu.Lock()
+	defer r.emitMu.Unlock()
+	r.sched.mu.Lock()
+	defer r.sched.mu.Unlock()
+	for i, done := range r.sched.completed {
+		if !done {
+			r.results[i] = fleet.ChipResult{Seed: r.job.Seeds[i], Err: err}
+		}
+	}
+}
+
+// Run shards the job's chips across the registered healthy workers and
+// returns one ChipResult per seed in input order — byte-identical (in
+// every serialized field) to fleet.Engine.Run of the same job on one
+// node. Per-chip failures land in the chip's Err exactly as they do
+// locally; Run itself errors on an invalid job, a canceled context, or
+// a cluster with no healthy workers for longer than WorkerWait. The
+// job's hooks are honored: OnAssign on every (re)placement,
+// OnCheckpoint for every checkpoint streamed back, OnResult as chips
+// finish, Resume blobs shipped to whichever worker draws the seed.
+func (c *Coordinator) Run(ctx context.Context, job fleet.Job, onProgress func(done, total int)) ([]fleet.ChipResult, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(job.Seeds)
+	run := &runState{
+		job:        job,
+		idx:        make(map[uint64]int, n),
+		results:    make([]fleet.ChipResult, n),
+		sched:      newScheduler(n),
+		onProgress: onProgress,
+		ckpts:      make(map[uint64][]byte, len(job.Resume)),
+		placement:  make(map[uint64]string, n),
+	}
+	for i, s := range job.Seeds {
+		run.idx[s] = i
+		if blob, ok := job.Resume[s]; ok {
+			run.ckpts[s] = blob
+		}
+	}
+
+	// Wait for a population to schedule onto.
+	members, err := c.waitWorkers(ctx)
+	if err != nil {
+		run.failRemaining(err)
+		return run.results, err
+	}
+
+	// Initial shard: contiguous even ranges across the healthy set in
+	// ID order. Late joiners start empty and steal.
+	for k, m := range members {
+		lo, hi := k*n/len(members), (k+1)*n/len(members)
+		chips := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			chips = append(chips, i)
+		}
+		run.sched.addWorker(m.ID)
+		run.sched.seed(m.ID, chips)
+	}
+
+	c.mu.Lock()
+	c.live = run
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		st, mg := run.sched.stats()
+		c.baseStolen += st
+		c.baseMigrated += mg
+		c.live = nil
+		c.mu.Unlock()
+	}()
+
+	// One agent goroutine per worker. The monitor (below, on the Run
+	// goroutine) spawns agents for joiners and cancels them for
+	// workers gone dead or degraded; an agent also retires itself when
+	// its worker breaks a dispatch stream.
+	var (
+		wg       sync.WaitGroup
+		agentsMu sync.Mutex
+		agents   = make(map[string]context.CancelFunc)
+	)
+	spawn := func(m Member) {
+		run.sched.addWorker(m.ID)
+		actx, cancel := context.WithCancel(ctx)
+		agentsMu.Lock()
+		agents[m.ID] = cancel
+		agentsMu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cancel()
+			c.agent(actx, run, m)
+			agentsMu.Lock()
+			delete(agents, m.ID)
+			agentsMu.Unlock()
+		}()
+	}
+	for _, m := range members {
+		spawn(m)
+	}
+
+	var stallSince time.Time
+	var runErr error
+	for !run.sched.finished() {
+		if ctx.Err() != nil {
+			runErr = ctx.Err()
+			break
+		}
+		healthy := 0
+		for _, m := range c.cfg.Membership.Snapshot() {
+			agentsMu.Lock()
+			cancel, running := agents[m.ID]
+			agentsMu.Unlock()
+			if m.State == StateHealthy {
+				healthy++
+				if !running {
+					spawn(m)
+				}
+			} else if running {
+				cancel() // agent requeues its chips and exits
+			}
+		}
+		if healthy > 0 {
+			stallSince = time.Time{}
+		} else if stallSince.IsZero() {
+			stallSince = time.Now()
+		} else if time.Since(stallSince) > c.cfg.WorkerWait {
+			runErr = fmt.Errorf("cluster: job stalled: no healthy workers for %v", c.cfg.WorkerWait)
+			break
+		}
+		sleepCtx(ctx, c.cfg.Poll)
+	}
+	run.sched.cancel()
+	wg.Wait()
+
+	if runErr == nil && ctx.Err() != nil {
+		runErr = ctx.Err()
+	}
+	if runErr != nil {
+		run.failRemaining(runErr)
+	}
+	return run.results, runErr
+}
+
+// waitWorkers blocks until the membership has at least one healthy
+// worker, up to WorkerWait.
+func (c *Coordinator) waitWorkers(ctx context.Context) ([]Member, error) {
+	deadline := time.Now().Add(c.cfg.WorkerWait)
+	for {
+		if members := c.cfg.Membership.Healthy(); len(members) > 0 {
+			return members, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: no healthy workers registered within %v", c.cfg.WorkerWait)
+		}
+		sleepCtx(ctx, c.cfg.Poll)
+	}
+}
+
+// agent is one worker's dispatch loop: draw a batch, stream it, repeat
+// until the job finishes or the worker fails. On a broken stream the
+// worker is declared dead, its chips (queued and in-flight alike)
+// migrate to the orphan pool with their freshest checkpoints, and the
+// agent retires; if the worker returns, the monitor spawns it a fresh
+// agent.
+func (c *Coordinator) agent(ctx context.Context, run *runState, m Member) {
+	batch := m.Slots
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > c.cfg.MaxBatch {
+		batch = c.cfg.MaxBatch
+	}
+	for {
+		chips, ok := run.sched.next(m.ID, batch)
+		if !ok {
+			return
+		}
+		if err := c.dispatch(ctx, run, m, chips); err != nil {
+			if ctx.Err() == nil {
+				c.logf("cluster: worker %s failed mid-batch (%v); migrating its chips", m.ID, err)
+				c.cfg.Membership.MarkDead(m.ID, err.Error())
+			}
+			run.sched.removeWorker(m.ID)
+			return
+		}
+	}
+}
+
+// dispatch ships one batch to a worker and consumes its event stream.
+// A nil return means the batch ran to completion (individual chip
+// failures included — those are results, not transport errors); any
+// error means the worker could not be trusted to finish and the caller
+// must migrate.
+func (c *Coordinator) dispatch(ctx context.Context, run *runState, m Member, chips []int) error {
+	seeds := make([]uint64, len(chips))
+	for i, ci := range chips {
+		seeds[i] = run.job.Seeds[ci]
+	}
+	task := Task{Spec: run.job.WithSeeds(seeds)}
+	run.ckptMu.Lock()
+	for _, s := range seeds {
+		if blob, ok := run.ckpts[s]; ok {
+			if task.Resume == nil {
+				task.Resume = make(map[uint64][]byte)
+			}
+			task.Resume[s] = blob
+		}
+	}
+	run.ckptMu.Unlock()
+
+	run.placeMu.Lock()
+	for _, s := range seeds {
+		run.placement[s] = m.ID
+	}
+	run.placeMu.Unlock()
+	if run.job.OnAssign != nil {
+		for _, s := range seeds {
+			run.job.OnAssign(s, m.ID)
+		}
+	}
+	c.dispatches.Add(1)
+
+	body, err := json.Marshal(task)
+	if err != nil {
+		return fmt.Errorf("encoding task: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.URL+PathExec, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusBadRequest {
+		// A task rejection is deterministic — re-dispatching the same
+		// chips would reject forever — so it fails the chips, not the
+		// worker.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		reject := fmt.Errorf("cluster: worker %s rejected task: %s", m.ID, bytes.TrimSpace(msg))
+		for _, s := range seeds {
+			run.deliver(fleet.ChipResult{Seed: s, Err: reject})
+		}
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("exec on %s: HTTP %d", m.ID, resp.StatusCode)
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return fmt.Errorf("exec stream from %s: %w", m.ID, err)
+		}
+		switch ev.Type {
+		case EventCheckpoint:
+			run.ckptMu.Lock()
+			run.ckpts[ev.Seed] = ev.Blob
+			run.ckptMu.Unlock()
+			if run.job.OnCheckpoint != nil {
+				run.job.OnCheckpoint(ev.Seed, ev.Ticks, ev.Blob)
+			}
+		case EventResult:
+			if ev.Chip == nil {
+				continue
+			}
+			// A chip aborted by the worker's request context is not a
+			// real result — it races a migration (the coordinator just
+			// canceled this stream) and the chip is owed a re-run.
+			if ev.Chip.Err == context.Canceled.Error() || ev.Chip.Err == context.DeadlineExceeded.Error() {
+				continue
+			}
+			res, err := ev.Chip.ToResult()
+			if err != nil {
+				res = fleet.ChipResult{Seed: ev.Seed,
+					Err: fmt.Errorf("cluster: undecodable result from %s: %v", m.ID, err)}
+			}
+			if run.deliver(res) {
+				c.chipsDone.Add(1)
+				c.ticks.Add(int64(res.Ticks))
+				c.cfg.Membership.AddChipsDone(m.ID, 1)
+			}
+		case EventError:
+			// The worker's engine refused or aborted the whole task
+			// (in practice: its request context was canceled). The
+			// chips are still owed — treat it like a broken stream.
+			return fmt.Errorf("exec on %s: %s", m.ID, ev.Err)
+		case EventDone:
+			// Defensive: re-queue anything the worker somehow skipped.
+			run.sched.release(chips)
+			return nil
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is canceled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -1,0 +1,189 @@
+package cluster
+
+// Membership is the coordinator's view of the worker population:
+// who has registered, who is still heartbeating, and who has gone
+// degraded or silent. It is pure bookkeeping — scheduling reacts to
+// it, but never mutates it except to report a failed dispatch via
+// MarkDead.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Worker liveness states.
+const (
+	// StateHealthy workers accept new work.
+	StateHealthy = "healthy"
+	// StateDegraded workers are alive but have asked not to be
+	// trusted (journal trouble, failing self-tests); they get no new
+	// work and their in-flight chips migrate.
+	StateDegraded = "degraded"
+	// StateDead workers missed their TTL or broke a dispatch stream;
+	// everything they held migrates. A dead worker that registers or
+	// heartbeats again is revived.
+	StateDead = "dead"
+)
+
+// Member is one worker's membership record.
+type Member struct {
+	ID         string
+	URL        string
+	Slots      int
+	Version    string
+	State      string
+	Reason     string
+	Registered time.Time
+	LastBeat   time.Time
+	// ChipsDone counts chips this worker completed across all jobs.
+	ChipsDone int64
+}
+
+// Membership tracks registered workers with TTL-based failure
+// detection. All methods are safe for concurrent use; expiry is
+// evaluated lazily on every read, so there is no sweeper goroutine to
+// leak.
+type Membership struct {
+	mu      sync.Mutex
+	members map[string]*Member
+	ttl     time.Duration
+	now     func() time.Time
+}
+
+// DefaultTTL is the liveness window when none is configured.
+const DefaultTTL = 10 * time.Second
+
+// NewMembership builds an empty membership with the given liveness
+// TTL (<= 0 selects DefaultTTL).
+func NewMembership(ttl time.Duration) *Membership {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Membership{members: make(map[string]*Member), ttl: ttl, now: time.Now}
+}
+
+// SetClock substitutes the time source (tests).
+func (m *Membership) SetClock(now func() time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = now
+}
+
+// TTL returns the liveness window.
+func (m *Membership) TTL() time.Duration { return m.ttl }
+
+// Join registers a worker, or revives/updates one that already
+// exists. It reports whether the ID was new.
+func (m *Membership) Join(req RegisterRequest) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	w, ok := m.members[req.ID]
+	if !ok {
+		w = &Member{ID: req.ID, Registered: now}
+		m.members[req.ID] = w
+	}
+	w.URL = req.URL
+	w.Slots = req.Slots
+	w.Version = req.Version
+	w.State = StateHealthy
+	w.Reason = ""
+	w.LastBeat = now
+	return !ok
+}
+
+// Heartbeat refreshes a worker's liveness, reporting whether the ID
+// is known (an unknown ID tells the worker to re-register — the
+// coordinator may have restarted and lost its membership). A degraded
+// report moves the worker to StateDegraded; a healthy one revives even
+// a dead worker, since the process is demonstrably alive.
+func (m *Membership) Heartbeat(req HeartbeatRequest) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.members[req.ID]
+	if !ok {
+		return false
+	}
+	w.LastBeat = m.now()
+	if req.Degraded {
+		w.State = StateDegraded
+		w.Reason = req.Reason
+	} else {
+		w.State = StateHealthy
+		w.Reason = ""
+	}
+	return true
+}
+
+// MarkDead declares a worker dead out-of-band — the scheduler calls it
+// when a dispatch stream breaks before the TTL does.
+func (m *Membership) MarkDead(id, reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if w := m.members[id]; w != nil {
+		w.State = StateDead
+		w.Reason = reason
+	}
+}
+
+// expireLocked applies the TTL: any non-dead worker silent past it is
+// declared dead. Caller holds m.mu.
+func (m *Membership) expireLocked() {
+	cutoff := m.now().Add(-m.ttl)
+	for _, w := range m.members {
+		if w.State != StateDead && w.LastBeat.Before(cutoff) {
+			w.State = StateDead
+			w.Reason = "heartbeat TTL expired"
+		}
+	}
+}
+
+// Snapshot returns every member, expiry applied, sorted by ID.
+func (m *Membership) Snapshot() []Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireLocked()
+	out := make([]Member, 0, len(m.members))
+	for _, w := range m.members {
+		out = append(out, *w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Healthy returns the healthy members, expiry applied, sorted by ID.
+func (m *Membership) Healthy() []Member {
+	all := m.Snapshot()
+	out := all[:0]
+	for _, w := range all {
+		if w.State == StateHealthy {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Counts tallies members by state, expiry applied.
+func (m *Membership) Counts() (healthy, degraded, dead int) {
+	for _, w := range m.Snapshot() {
+		switch w.State {
+		case StateHealthy:
+			healthy++
+		case StateDegraded:
+			degraded++
+		default:
+			dead++
+		}
+	}
+	return
+}
+
+// AddChipsDone credits a worker with finished chips (members view).
+func (m *Membership) AddChipsDone(id string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if w := m.members[id]; w != nil {
+		w.ChipsDone += n
+	}
+}

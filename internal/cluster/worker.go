@@ -1,0 +1,188 @@
+package cluster
+
+// Worker side of the cluster: the streaming execution endpoint a
+// worker daemon serves, and the register/heartbeat client loop that
+// keeps it in the coordinator's membership.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"eccspec/internal/engine"
+	"eccspec/internal/fleet"
+	"eccspec/internal/store"
+)
+
+// maxTaskBytes bounds an exec request body. Tasks carry resume blobs
+// (a snapshot per migrating chip), so the cap is far above the fleet
+// API's: 64 MiB covers hundreds of checkpoints.
+const maxTaskBytes = 64 << 20
+
+// Executor runs dispatched chip ranges on a local fleet engine,
+// streaming checkpoints and results back as they happen.
+type Executor struct {
+	// Engine is the local worker pool the chips run on.
+	Engine *fleet.Engine
+	// Observers, when set, supplies extra per-chip engine observers —
+	// the worker daemon plugs its tick metrics and chaos injector in
+	// here, exactly as it does for locally submitted fleets.
+	Observers func(seed uint64) []engine.Observer
+}
+
+// HandleExec serves PathExec: decode a Task, run it, and stream one
+// JSON event per line (checkpoints as they pass, results as chips
+// finish, a final done marker). The response is flushed after every
+// event so the coordinator always holds the freshest checkpoint of
+// every in-flight chip — that blob is what migration resumes from if
+// this process dies mid-batch.
+func (e *Executor) HandleExec(w http.ResponseWriter, r *http.Request) {
+	var task Task
+	body := http.MaxBytesReader(w, r.Body, maxTaskBytes)
+	if err := json.NewDecoder(body).Decode(&task); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":"bad task: %v"}`, err), http.StatusBadRequest)
+		return
+	}
+	job := task.Spec
+	if err := job.Validate(); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+		return
+	}
+	job.Resume = task.Resume
+	job.Observers = e.Observers
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	job.OnCheckpoint = func(seed uint64, ticks int, blob []byte) {
+		emit(Event{Type: EventCheckpoint, Seed: seed, Ticks: ticks, Blob: blob})
+	}
+	job.OnResult = func(res fleet.ChipResult) {
+		rec := store.FromResult(res)
+		emit(Event{Type: EventResult, Seed: res.Seed, Chip: &rec})
+	}
+
+	// The request context aborts the run the moment the coordinator
+	// cancels or the connection drops, so a chip migrated off this
+	// worker stops burning its CPU here.
+	if _, err := e.Engine.Run(r.Context(), job, nil); err != nil {
+		emit(Event{Type: EventError, Err: err.Error()})
+		return
+	}
+	emit(Event{Type: EventDone})
+}
+
+// MemberConfig drives RunMember, a worker daemon's registration and
+// heartbeat loop.
+type MemberConfig struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Info is this worker's registration record.
+	Info RegisterRequest
+	// Interval is the heartbeat period; <= 0 selects 2s.
+	Interval time.Duration
+	// Degraded, when set, reports the worker's degraded state on each
+	// heartbeat (the daemon wires its journal-health flag in here).
+	Degraded func() (degraded bool, reason string)
+	// Client substitutes the HTTP client; nil selects a 10s-timeout
+	// default.
+	Client *http.Client
+	// Logf substitutes the logger; nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// RunMember registers the worker with the coordinator (retrying until
+// it succeeds — the coordinator may come up later) and then heartbeats
+// every Interval until ctx is canceled. A heartbeat answered 404 means
+// the coordinator restarted and lost its membership, so the loop
+// re-registers — that is what lets a restarted coordinator resume a
+// journaled job: its workers walk right back in.
+func RunMember(ctx context.Context, cfg MemberConfig) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+
+	post := func(path string, v any) (int, error) {
+		body, err := json.Marshal(v)
+		if err != nil {
+			return 0, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			cfg.Coordinator+path, bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := cfg.Client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	register := func() bool {
+		code, err := post(PathRegister, cfg.Info)
+		if err != nil || code != http.StatusOK {
+			if ctx.Err() == nil {
+				logf("cluster: registering with %s: code %d err %v (will retry)", cfg.Coordinator, code, err)
+			}
+			return false
+		}
+		logf("cluster: registered with %s as %s", cfg.Coordinator, cfg.Info.ID)
+		return true
+	}
+
+	registered := register()
+	tick := time.NewTicker(cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if !registered {
+			registered = register()
+			continue
+		}
+		hb := HeartbeatRequest{ID: cfg.Info.ID}
+		if cfg.Degraded != nil {
+			hb.Degraded, hb.Reason = cfg.Degraded()
+		}
+		code, err := post(PathHeartbeat, hb)
+		switch {
+		case err != nil:
+			if ctx.Err() == nil {
+				logf("cluster: heartbeat to %s failed: %v", cfg.Coordinator, err)
+			}
+		case code == http.StatusNotFound:
+			logf("cluster: coordinator no longer knows %s; re-registering", cfg.Info.ID)
+			registered = register()
+		}
+	}
+}

@@ -80,6 +80,28 @@ type Job struct {
 	// once per chip and may be called concurrently from worker
 	// goroutines; the returned observers are used by one run only.
 	Observers func(seed uint64) []engine.Observer `json:"-"`
+	// OnAssign, when set, is told which executor a chip has been placed
+	// on before it runs. The local engine never calls it — placement is
+	// a cluster concept (internal/cluster invokes it with the worker id
+	// on every dispatch, including re-dispatch after a migration) — but
+	// it lives on the Job so a cluster run is driven through exactly
+	// the same hook surface as a local one. It may be called
+	// concurrently.
+	OnAssign func(seed uint64, worker string) `json:"-"`
+}
+
+// WithSeeds returns a copy of the job scoped to the given seeds — the
+// remote-executable chip range a cluster coordinator ships to a worker
+// daemon. Callbacks, observers, and resume blobs are stripped: none of
+// them serialize, and the executing side wires its own. The returned
+// job is safe to JSON-encode and fully describes the simulation, so a
+// worker that runs it produces chips byte-identical to a local run of
+// the same range.
+func (j Job) WithSeeds(seeds []uint64) Job {
+	j.Seeds = seeds
+	j.OnCheckpoint, j.OnResult, j.Observers, j.OnAssign = nil, nil, nil, nil
+	j.Resume = nil
+	return j
 }
 
 // Validate checks a Job before any simulation is built.

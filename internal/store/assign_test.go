@@ -1,0 +1,96 @@
+package store
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestAssignmentsJournalAndRecover covers the cluster placement
+// journal: assignments replay across a reopen, migration overwrites a
+// seed's worker, re-dispatch to the same worker appends nothing, and
+// the records survive both compaction and job completion (unlike
+// checkpoints, which MarkJobDone drops).
+func TestAssignmentsJournalAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddJob(1, sampleSpec()); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.RecordAssignment(1, 10, "w-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordAssignment(1, 11, "w-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordAssignment(1, 12, "w-b"); err != nil {
+		t.Fatal(err)
+	}
+	// Migration: seed 11 moves to w-b; latest assignment wins.
+	if err := s.RecordAssignment(1, 11, "w-b"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-dispatch to the same home is dropped before the journal.
+	sizeBefore := fileSize(t, filepath.Join(dir, JournalName))
+	if err := s.RecordAssignment(1, 12, "w-b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fileSize(t, filepath.Join(dir, JournalName)); got != sizeBefore {
+		t.Fatalf("same-worker re-assignment grew the journal: %d -> %d bytes", sizeBefore, got)
+	}
+
+	want := map[uint64]string{10: "w-a", 11: "w-b", 12: "w-b"}
+	check := func(st *Store, when string) {
+		t.Helper()
+		j, ok := st.Job(1)
+		if !ok {
+			t.Fatalf("%s: job 1 missing", when)
+		}
+		if !reflect.DeepEqual(j.Assignments, want) {
+			t.Fatalf("%s: assignments = %v, want %v", when, j.Assignments, want)
+		}
+	}
+	check(s, "live")
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(s, "after reopen")
+
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	check(s, "after compaction")
+
+	// Completion keeps placement history (operators ask "where did that
+	// chip run" after the fact) even as it drops checkpoints.
+	if err := s.MarkJobDone(1, 1_700_000_000); err != nil {
+		t.Fatal(err)
+	}
+	check(s, "after completion")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	check(s, "completed job after reopen")
+
+	// Guard-rail errors: unknown job, empty worker.
+	if err := s.RecordAssignment(9, 10, "w-a"); err == nil {
+		t.Fatal("assignment to unknown job succeeded")
+	}
+	if err := s.RecordAssignment(1, 10, ""); err == nil {
+		t.Fatal("empty worker id accepted")
+	}
+}

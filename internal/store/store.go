@@ -47,16 +47,18 @@ const DefaultCompactEvery = 4096
 // record is one journal line. T selects the kind; the other fields are
 // kind-specific.
 type record struct {
-	T string `json:"t"` // "job", "chip", "ckpt", "done", "evict"
+	T string `json:"t"` // "job", "chip", "ckpt", "assign", "done", "evict"
 
 	Job  uint64     `json:"job"`
 	Spec *fleet.Job `json:"spec,omitempty"` // t=job
 
 	Chip *ChipRecord `json:"chip,omitempty"` // t=chip
 
-	Seed  uint64 `json:"seed,omitempty"`  // t=ckpt
+	Seed  uint64 `json:"seed,omitempty"`  // t=ckpt, t=assign
 	Ticks int    `json:"ticks,omitempty"` // t=ckpt
 	Blob  []byte `json:"blob,omitempty"`  // t=ckpt (base64 in JSON)
+
+	Worker string `json:"worker,omitempty"` // t=assign
 
 	CompletedUnix int64 `json:"completed_unix,omitempty"` // t=done
 }
@@ -76,6 +78,11 @@ type JobRecord struct {
 	// when the job completes.
 	Checkpoints     map[uint64][]byte
 	CheckpointTicks map[uint64]int
+	// Assignments maps each seed to the cluster worker it was last
+	// placed on (empty for single-node jobs). Unlike checkpoints the
+	// map survives completion: it is the job's placement history, and
+	// a migrated chip's entry is simply overwritten by its new home.
+	Assignments map[uint64]string
 	// Completed reports whether the whole job finished; CompletedUnix
 	// is the wall-clock completion time recorded by the daemon.
 	Completed     bool
@@ -289,6 +296,7 @@ func (s *Store) apply(rec record) bool {
 			Chips:           make(map[uint64]ChipRecord),
 			Checkpoints:     make(map[uint64][]byte),
 			CheckpointTicks: make(map[uint64]int),
+			Assignments:     make(map[uint64]string),
 		}
 		s.order = append(s.order, rec.Job)
 	case "chip":
@@ -309,6 +317,12 @@ func (s *Store) apply(rec record) bool {
 		}
 		j.Checkpoints[rec.Seed] = rec.Blob
 		j.CheckpointTicks[rec.Seed] = rec.Ticks
+	case "assign":
+		j := s.jobs[rec.Job]
+		if j == nil || rec.Worker == "" {
+			return false
+		}
+		j.Assignments[rec.Seed] = rec.Worker
 	case "done":
 		j := s.jobs[rec.Job]
 		if j == nil {
@@ -478,6 +492,31 @@ func (s *Store) RecordCheckpoint(id, seed uint64, ticks int, blob []byte) error 
 	return s.append(rec, false)
 }
 
+// RecordAssignment records which cluster worker a seed was last placed
+// on. Like checkpoints it is not a commit point: losing an assignment
+// to an OS crash costs nothing but placement history, and the cluster
+// coordinator re-derives live placement when it resumes a job.
+func (s *Store) RecordAssignment(id, seed uint64, worker string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	j := s.jobs[id]
+	if j == nil {
+		return fmt.Errorf("store: unknown job %d", id)
+	}
+	if worker == "" {
+		return fmt.Errorf("store: empty worker id for job %d seed %d", id, seed)
+	}
+	if j.Assignments[seed] == worker {
+		return nil // re-dispatch to the same home; nothing new to record
+	}
+	rec := record{T: "assign", Job: id, Seed: seed, Worker: worker}
+	s.apply(rec)
+	return s.append(rec, false)
+}
+
 // MarkJobDone records job completion at the given wall-clock time and
 // drops the job's now-useless checkpoints. It is a commit point.
 func (s *Store) MarkJobDone(id uint64, completedUnix int64) error {
@@ -561,6 +600,10 @@ func (j *JobRecord) clone() JobRecord {
 	for k, v := range j.CheckpointTicks {
 		out.CheckpointTicks[k] = v
 	}
+	out.Assignments = make(map[uint64]string, len(j.Assignments))
+	for k, v := range j.Assignments {
+		out.Assignments[k] = v
+	}
 	return out
 }
 
@@ -624,6 +667,12 @@ func (s *Store) compactLocked() error {
 				return fail(err)
 			}
 		}
+		for _, seed := range sortedAssignSeeds(j.Assignments) {
+			if err := writeRec(record{T: "assign", Job: id, Seed: seed,
+				Worker: j.Assignments[seed]}); err != nil {
+				return fail(err)
+			}
+		}
 		if j.Completed {
 			if err := writeRec(record{T: "done", Job: id, CompletedUnix: j.CompletedUnix}); err != nil {
 				return fail(err)
@@ -680,6 +729,15 @@ func (s *Store) Close() error {
 }
 
 func sortedSeeds(m map[uint64]ChipRecord) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedAssignSeeds(m map[uint64]string) []uint64 {
 	out := make([]uint64, 0, len(m))
 	for k := range m {
 		out = append(out, k)
