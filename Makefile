@@ -8,7 +8,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X eccspec/internal/version.version=$(VERSION)"
 
-.PHONY: verify build test race vet bench staticcheck chaos fuzz-smoke cluster-smoke all
+.PHONY: verify build test race vet bench bench-snapshot staticcheck chaos fuzz-smoke cluster-smoke all
 
 all: verify
 
@@ -42,6 +42,13 @@ staticcheck:
 # One iteration of every benchmark — a smoke test so bench code can't rot.
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Performance snapshot: single-chip tick latency (BenchmarkEngineTick)
+# plus fleet chips/min from a parallel micro-run, written to
+# BENCH_ticks.json so CI archives a comparable number per commit.
+bench-snapshot:
+	ECCSPEC_BENCH_TICKS_OUT=$(CURDIR)/BENCH_ticks.json \
+		$(GO) test ./internal/engine/ -run TestBenchSnapshot -count=1 -v
 
 # Chaos smoke: every fault-injection and chaos suite, twice, so any
 # nondeterminism in the replayability contract fails the build.

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eccspec"
+	"eccspec/internal/experiments"
+)
+
+// compareCmd races speculation policies head to head:
+//
+//	eccspec compare [-policies a,b,c] [-workloads w1,w2] [-seed N] [-fast] [-full] [-json]
+//
+// With no -policies every registered policy runs; with no -workloads the
+// default set does. Output is a text table, or the full machine-readable
+// report with -json.
+func compareCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	policies := fs.String("policies", "",
+		"comma-separated policy names (empty = all registered: "+strings.Join(eccspec.PolicyNames(), ",")+")")
+	workloads := fs.String("workloads", "",
+		"comma-separated workload names (empty = "+strings.Join(experiments.DefaultCompareWorkloads, ",")+")")
+	seed := fs.Uint64("seed", 1, "chip seed (selects the simulated specimen)")
+	fast := fs.Bool("fast", false, "shorten measurement windows ~10x")
+	full := fs.Bool("full", false, "use the full Table I cache geometry")
+	asJSON := fs.Bool("json", false, "emit the full report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("compare: unexpected arguments %s (policies and workloads are flags)",
+			strings.Join(fs.Args(), " "))
+	}
+	rep, err := experiments.RunPolicyCompare(ctx, experiments.PolicyCompareOptions{
+		Seed:      *seed,
+		Policies:  splitList(*policies),
+		Workloads: splitList(*workloads),
+		Fast:      *fast,
+		Full:      *full,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("== policy race: seed %d, %d measure ticks ==\n", rep.Seed, rep.MeasureTicks)
+	return rep.Table().Render(os.Stdout)
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -78,6 +78,8 @@ func runCtx(ctx context.Context, args []string) error {
 		return nil
 	case "run":
 		return runCmd(ctx, args[1:])
+	case "compare":
+		return compareCmd(ctx, args[1:])
 	case "seeds":
 		return seedsCmd(ctx, args[1:])
 	case "report":
@@ -217,6 +219,7 @@ func runCmd(ctx context.Context, args []string) error {
 	resume := fs.String("resume", "", "continue a direct run from a snapshot file")
 	seconds := fs.Float64("seconds", 0.5, "simulated seconds for a direct -checkpoint/-resume run")
 	workloadName := fs.String("workload", "", "workload for a direct run (empty = characterization stress test)")
+	policyName := fs.String("policy", "", "speculation policy for a direct run (empty = paper; see `eccspec compare` for the registry)")
 	uncore := fs.Bool("uncore", false, "extend speculation to the uncore rail in a direct run")
 
 	// Accept ids before flags: `run fig10 -seed 2`.
@@ -241,7 +244,7 @@ func runCmd(ctx context.Context, args []string) error {
 			var conflict []string
 			fs.Visit(func(f *flag.Flag) {
 				switch f.Name {
-				case "seed", "full", "workload", "uncore":
+				case "seed", "full", "workload", "policy", "uncore":
 					conflict = append(conflict, "-"+f.Name)
 				}
 			})
@@ -257,6 +260,7 @@ func runCmd(ctx context.Context, args []string) error {
 			Seed:       *seed,
 			Full:       *full,
 			Workload:   *workloadName,
+			Policy:     *policyName,
 			Uncore:     *uncore,
 		})
 	}
@@ -348,6 +352,7 @@ type directOptions struct {
 	Seed       uint64
 	Full       bool
 	Workload   string
+	Policy     string
 	Uncore     bool
 }
 
@@ -367,12 +372,12 @@ func directRun(ctx context.Context, o directOptions) error {
 		if err != nil {
 			return fmt.Errorf("resume %s: %w", o.Resume, err)
 		}
-		fmt.Printf("resumed seed %d (%s) at tick %d\n",
-			sim.Opts().Seed, sim.Opts().Workload, st.Ticks)
+		fmt.Printf("resumed seed %d (%s, policy %s) at tick %d\n",
+			sim.Opts().Seed, sim.Opts().Workload, sim.Opts().Policy, st.Ticks)
 	} else {
 		var err error
 		sim, err = eccspec.NewSimulator(eccspec.Options{
-			Seed: o.Seed, FullGeometry: o.Full, Workload: o.Workload,
+			Seed: o.Seed, FullGeometry: o.Full, Workload: o.Workload, Policy: o.Policy,
 		})
 		if err != nil {
 			return err
@@ -398,8 +403,8 @@ func directRun(ctx context.Context, o directOptions) error {
 		fmt.Fprintf(os.Stderr, "eccspec: interrupted after %d/%d ticks; checkpoint still written\n", ran, ticks)
 	}
 
-	fmt.Printf("seed %d workload %s: ran %d ticks (%.4g s simulated, now at tick %d)\n",
-		sim.Opts().Seed, sim.Opts().Workload, ran, float64(ran)*sim.TickSeconds(), sim.Ticks())
+	fmt.Printf("seed %d workload %s policy %s: ran %d ticks (%.4g s simulated, now at tick %d)\n",
+		sim.Opts().Seed, sim.Opts().Workload, sim.Opts().Policy, ran, float64(ran)*sim.TickSeconds(), sim.Ticks())
 	for d := 0; d < sim.NumDomains(); d++ {
 		fmt.Printf("domain %d: %.3f V  (monitor error rate %.2g)\n",
 			d, sim.DomainVoltage(d), sim.MonitorErrorRate(d))
@@ -421,17 +426,21 @@ func directRun(ctx context.Context, o directOptions) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+	fmt.Fprintf(os.Stderr, `usage:
   eccspec list
   eccspec run <id>... [-seed N] [-full] [-fast] [-csv dir] [-plot] [-json]
   eccspec run all [flags]
-  eccspec run -checkpoint f [-seconds S] [-workload W] [-seed N] [-full] [-uncore]
+  eccspec run -checkpoint f [-seconds S] [-workload W] [-policy P] [-seed N] [-full] [-uncore]
   eccspec run -resume f [-seconds S] [-checkpoint f2]
+  eccspec compare [-policies a,b,c] [-workloads w1,w2] [-seed N] [-fast] [-full] [-json]
   eccspec seeds <id> [-n N] [-full] [-fast=false]
   eccspec report [-seed N] [-full] [-fast]
   eccspec chaos list
   eccspec chaos <scenario>|-plan f [-seed N] [-seconds S] [-workload W]
   eccspec cluster members [-addr URL]
   eccspec cluster placement <fleet-id> [-addr URL]
-  eccspec version`)
+  eccspec version
+
+speculation policies (for -policy / -policies): %s
+`, strings.Join(eccspec.PolicyNames(), ", "))
 }

@@ -199,7 +199,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "resumed seed 3 (gcc) at tick 30") {
+	if !strings.Contains(out, "resumed seed 3 (gcc, policy paper) at tick 30") {
 		t.Fatalf("resume banner missing:\n%s", out)
 	}
 

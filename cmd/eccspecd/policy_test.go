@@ -1,0 +1,93 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSubmitWithPolicy drives a non-default policy through the HTTP
+// surface: accepted, echoed on status and results, and the chips
+// actually ran it (the conservative policy never leaves nominal).
+func TestSubmitWithPolicy(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, st := postFleet(t, ts, `{"seeds":[1],"workload":"mcf","seconds":0.03,"policy":"conservative"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, st)
+	}
+	if st["policy"] != "conservative" {
+		t.Fatalf("submit status echoes policy %v, want conservative", st["policy"])
+	}
+	id := st["id"].(string)
+	fin := waitDone(t, ts, id)
+	if fin["status"] != statusDone {
+		t.Fatalf("fleet finished %v: %v", fin["status"], fin["error"])
+	}
+	code, res := getJSON(t, ts.URL+"/v1/fleets/"+id+"/results")
+	if code != http.StatusOK {
+		t.Fatalf("results: HTTP %d: %v", code, res)
+	}
+	if res["policy"] != "conservative" {
+		t.Fatalf("results echo policy %v, want conservative", res["policy"])
+	}
+	if red := res["mean_reduction"].(float64); red != 0 {
+		t.Fatalf("conservative fleet reports %.4f mean reduction, want 0 (never leaves nominal)", red)
+	}
+}
+
+// TestSubmitDefaultPolicyEchoesResolvedName: an unspecified policy
+// resolves to the paper ladder in the results echo.
+func TestSubmitDefaultPolicyEchoesResolvedName(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, st := postFleet(t, ts, `{"seeds":[1],"seconds":0.02}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, st)
+	}
+	if _, present := st["policy"]; present {
+		t.Fatalf("default submit status carries policy %v, want omitted", st["policy"])
+	}
+	id := st["id"].(string)
+	waitDone(t, ts, id)
+	_, res := getJSON(t, ts.URL+"/v1/fleets/"+id+"/results")
+	if res["policy"] != "paper" {
+		t.Fatalf("results echo policy %v, want paper", res["policy"])
+	}
+}
+
+// TestSubmitUnknownPolicyRejected: validation happens at submission,
+// and the error lists the registered names.
+func TestSubmitUnknownPolicyRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, m := postFleet(t, ts, `{"seeds":[1],"seconds":0.02,"policy":"nosuch"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown policy: HTTP %d, want 400", code)
+	}
+	msg, _ := m["error"].(string)
+	for _, want := range []string{"nosuch", "paper", "conservative"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestHealthzListsPolicies: the registry is discoverable from /healthz.
+func TestHealthzListsPolicies(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, m := getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	names, ok := m["policies"].([]any)
+	if !ok {
+		t.Fatalf("healthz has no policies list: %v", m)
+	}
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n.(string)] = true
+	}
+	for _, want := range []string{"conservative", "guardband", "paper", "tscache"} {
+		if !found[want] {
+			t.Fatalf("healthz policies %v missing %q", names, want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"eccspec/internal/engine"
 	"eccspec/internal/faultinject"
 	"eccspec/internal/fleet"
+	"eccspec/internal/policy"
 	"eccspec/internal/store"
 	"eccspec/internal/version"
 )
@@ -58,6 +59,7 @@ type fleetRequest struct {
 	Chips            int      `json:"chips,omitempty"`
 	BaseSeed         uint64   `json:"base_seed,omitempty"`
 	Workload         string   `json:"workload,omitempty"`
+	Policy           string   `json:"policy,omitempty"`
 	Seconds          float64  `json:"seconds"`
 	HighVoltagePoint bool     `json:"high_voltage_point,omitempty"`
 	FullGeometry     bool     `json:"full_geometry,omitempty"`
@@ -79,6 +81,7 @@ func (r fleetRequest) job() (fleet.Job, error) {
 	j := fleet.Job{
 		Seeds:            seeds,
 		Workload:         r.Workload,
+		Policy:           r.Policy,
 		Seconds:          r.Seconds,
 		HighVoltagePoint: r.HighVoltagePoint,
 		FullGeometry:     r.FullGeometry,
@@ -673,6 +676,7 @@ type jobStatus struct {
 	ID         string  `json:"id"`
 	Status     string  `json:"status"`
 	Workload   string  `json:"workload,omitempty"`
+	Policy     string  `json:"policy,omitempty"`
 	Seconds    float64 `json:"seconds"`
 	ChipsTotal int     `json:"chips_total"`
 	ChipsDone  int     `json:"chips_done"`
@@ -687,6 +691,7 @@ func (s *server) statusLocked(j *fleetJob) jobStatus {
 		ID:         j.ID,
 		Status:     j.Status,
 		Workload:   j.Job.Workload,
+		Policy:     j.Job.Policy,
 		Seconds:    j.Job.Seconds,
 		ChipsTotal: len(j.Job.Seeds),
 		ChipsDone:  j.ChipsDone,
@@ -760,6 +765,7 @@ func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{
 		"id":             j.ID,
 		"status":         j.Status,
+		"policy":         policy.Resolve(j.Job.Policy),
 		"chips":          sum.Chips,
 		"failed":         sum.Failed,
 		"nominal_v":      sum.NominalV,
@@ -936,6 +942,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"version":    version.String(),
 		"persistent": s.cfg.store != nil,
 		"degraded":   degraded,
+		"policies":   policy.Names(),
 	}
 	if degraded {
 		resp["degraded_reason"] = reason

@@ -44,6 +44,7 @@ import (
 	"eccspec/internal/control"
 	"eccspec/internal/engine"
 	"eccspec/internal/experiments"
+	"eccspec/internal/policy"
 	"eccspec/internal/workload"
 )
 
@@ -51,6 +52,14 @@ import (
 // names no known benchmark profile. Use errors.Is to test for it; the
 // wrapped message lists the valid names.
 var ErrUnknownWorkload = errors.New("eccspec: unknown workload")
+
+// ErrUnknownPolicy is returned by NewSimulator when Options.Policy names
+// no registered speculation policy. Use errors.Is to test for it; the
+// wrapped message lists the valid names.
+var ErrUnknownPolicy = errors.New("eccspec: unknown policy")
+
+// PolicyNames lists the registered speculation policies, sorted.
+func PolicyNames() []string { return policy.Names() }
 
 // Options selects the simulated platform.
 type Options struct {
@@ -68,6 +77,10 @@ type Options struct {
 	// internal/workload's Table II inventory); empty selects the
 	// characterization stress test.
 	Workload string
+	// Policy names the speculation policy driving the voltage control
+	// system (see internal/policy's registry); empty selects the paper's
+	// floor/ceiling ladder.
+	Policy string
 }
 
 // Simulator couples a simulated chip with the paper's voltage
@@ -92,21 +105,28 @@ func NewSimulator(o Options) (*Simulator, error) {
 		return nil, fmt.Errorf("%w %q (valid: %s)", ErrUnknownWorkload, name,
 			strings.Join(workload.Names(), ", "))
 	}
+	polName := policy.Resolve(o.Policy)
+	pol, err := policy.New(polName)
+	if err != nil {
+		return nil, fmt.Errorf("%w %q (valid: %s)", ErrUnknownPolicy, polName,
+			strings.Join(policy.Names(), ", "))
+	}
 	c := chip.New(chip.DefaultParams(o.Seed, !o.HighVoltagePoint, o.FullGeometry))
 	for _, co := range c.Cores {
 		co.SetWorkload(p, o.Seed)
 	}
-	o.Workload = name // record the resolved name for Opts/checkpoints
+	o.Workload = name  // record the resolved names for Opts/checkpoints
+	o.Policy = polName //
 	return &Simulator{
 		opts: o,
 		chip: c,
-		ctl:  control.New(c, control.DefaultConfig()),
+		ctl:  control.NewWithPolicy(c, control.DefaultConfig(), pol),
 	}, nil
 }
 
 // Opts returns the options the simulator was built from, with the
-// workload name resolved (never empty). Checkpointing uses this to
-// rebuild an identical specimen before restoring mutable state.
+// workload and policy names resolved (never empty). Checkpointing uses
+// this to rebuild an identical specimen before restoring mutable state.
 func (s *Simulator) Opts() Options { return s.opts }
 
 // Chip exposes the underlying chip model.

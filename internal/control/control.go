@@ -35,6 +35,8 @@ import (
 	"eccspec/internal/cache"
 	"eccspec/internal/chip"
 	"eccspec/internal/monitor"
+	"eccspec/internal/pdn"
+	"eccspec/internal/policy"
 	"eccspec/internal/sram"
 	"eccspec/internal/variation"
 )
@@ -188,10 +190,19 @@ type selfTester interface {
 	SelfTest() bool
 }
 
-// System is the per-chip voltage control system.
+// System is the per-chip voltage control system. The shared machinery —
+// probing, emergency servicing, the stall watchdog, self-test
+// cross-checks and fail-safe — lives here; what to do with a completed
+// decision window is delegated to a speculation policy
+// (internal/policy). The default is the paper's floor/ceiling ladder
+// built from Cfg.FloorRate/CeilRate, which reproduces the pre-registry
+// controller exactly.
 type System struct {
 	Chip *chip.Chip
 	Cfg  Config
+
+	// pol decides what to do with each completed decision window.
+	pol policy.Policy
 
 	// probers holds the provisioned probing agent for every L2 cache
 	// controller, keyed by (core, kind); only one per domain is active.
@@ -246,10 +257,25 @@ func NewFirmwareApproximation(c *chip.Chip, cfg Config) *System {
 	return s
 }
 
+// NewWithPolicy provisions the control system like New but drives the
+// given speculation policy instead of the default paper ladder. A nil
+// policy falls back to the default.
+func NewWithPolicy(c *chip.Chip, cfg Config, pol policy.Policy) *System {
+	s := New(c, cfg)
+	if pol != nil {
+		s.pol = pol
+	}
+	return s
+}
+
 func newSystem(c *chip.Chip, cfg Config) *System {
 	return &System{
-		Chip:     c,
-		Cfg:      cfg,
+		Chip: c,
+		Cfg:  cfg,
+		// The default policy is built from this system's own band so
+		// experiments that sweep FloorRate/CeilRate (the ablation study)
+		// keep working unchanged.
+		pol:      policy.NewPaper(cfg.FloorRate, cfg.CeilRate),
 		probers:  make(map[monKey]Prober),
 		active:   make(map[int]Prober),
 		assigns:  make(map[int]Assignment),
@@ -258,6 +284,12 @@ func newSystem(c *chip.Chip, cfg Config) *System {
 		stalled:  make(map[int]int),
 	}
 }
+
+// Policy returns the speculation policy driving this system's decisions.
+func (s *System) Policy() policy.Policy { return s.pol }
+
+// PolicyName returns the driving policy's registered name.
+func (s *System) PolicyName() string { return s.pol.Name() }
 
 // Monitor returns the provisioned probing agent for a cache controller.
 func (s *System) Monitor(core int, kind variation.Kind) Prober {
@@ -351,7 +383,19 @@ func (s *System) CalibrateDomain(d *chip.Domain) (Assignment, error) {
 	mon.Activate(a.Set, a.Way)
 	s.active[d.ID] = mon
 	s.assigns[d.ID] = a
+	s.bindPolicyDomain(d.ID, a, d.Rail)
 	return a, nil
+}
+
+// bindPolicyDomain hands a domain's characterization to the policy so
+// schemes that need an offline operating point (guardband) have one.
+func (s *System) bindPolicyDomain(domain int, a Assignment, r *pdn.Rail) {
+	s.pol.BindDomain(policy.DomainInfo{
+		Domain:   domain,
+		OnsetV:   a.OnsetV,
+		NominalV: s.Chip.P.Point.NominalVdd,
+		StepV:    r.Params().StepV,
+	})
 }
 
 // Calibrate runs CalibrateDomain for every domain and returns the
@@ -413,7 +457,7 @@ func (s *System) Tick() []Action {
 			s.emergencies++
 			d.Rail.StepUp(s.Cfg.EmergencySteps)
 			mon.ResetCounters()
-		} else if acc, _ := mon.Counters(); acc >= s.Cfg.DecisionProbes {
+		} else if acc, errs := mon.Counters(); acc >= s.Cfg.DecisionProbes {
 			// A decision's worth of counters is also when firmware
 			// cross-checks the monitor's built-in self test: a stuck
 			// datapath reads as a perfect zero rate and would otherwise
@@ -425,16 +469,16 @@ func (s *System) Tick() []Action {
 			rate := mon.ErrorRate()
 			act.ErrorRate = rate
 			s.lastRate[d.ID] = rate
-			switch {
-			case rate > s.Cfg.CeilRate:
-				act.Kind = StepUp
-				d.Rail.StepUp(1)
-			case rate < s.Cfg.FloorRate:
-				act.Kind = StepDown
-				d.Rail.StepDown(1)
-			default:
-				act.Kind = Hold
-			}
+			act.Kind = s.applyDecision(d.Rail, s.pol.Decide(policy.Input{
+				Domain:    d.ID,
+				Tick:      s.Chip.Ticks(),
+				ErrorRate: rate,
+				Accesses:  acc,
+				Errors:    errs,
+				TargetV:   d.Rail.Target(),
+				NominalV:  s.Chip.P.Point.NominalVdd,
+				StepV:     d.Rail.Params().StepV,
+			}))
 			mon.ResetCounters()
 		} else {
 			act.Kind = Pending
@@ -445,6 +489,41 @@ func (s *System) Tick() []Action {
 	}
 	s.acts = out
 	return out
+}
+
+// applyDecision translates a policy decision into rail operations and
+// the matching telemetry kind. SetTarget is classified by the direction
+// the setpoint actually moved, so traces stay meaningful for ladder and
+// non-ladder policies alike.
+func (s *System) applyDecision(r *pdn.Rail, dec policy.Decision) ActionKind {
+	switch dec.Verdict {
+	case policy.StepUp:
+		r.StepUp(stepsOrOne(dec.Steps))
+		return StepUp
+	case policy.StepDown:
+		r.StepDown(stepsOrOne(dec.Steps))
+		return StepDown
+	case policy.SetTarget:
+		before := r.Target()
+		after := r.SetTarget(dec.TargetV)
+		switch {
+		case after > before:
+			return StepUp
+		case after < before:
+			return StepDown
+		default:
+			return Hold
+		}
+	default:
+		return Hold
+	}
+}
+
+func stepsOrOne(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return n
 }
 
 // failSafe permanently stops speculating on a domain after a monitor

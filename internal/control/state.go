@@ -8,6 +8,7 @@ package control
 // randomness.
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -29,6 +30,10 @@ type DomainControlState struct {
 type State struct {
 	Domains []DomainControlState `json:"domains,omitempty"`
 	Uncore  *DomainControlState  `json:"uncore,omitempty"`
+	// PolicyState is the speculation policy's opaque mutable state.
+	// Stateless policies (the default paper ladder) capture nil, so
+	// default-policy checkpoints keep their historical shape.
+	PolicyState json.RawMessage `json:"policy_state,omitempty"`
 }
 
 // CaptureState snapshots the control system. It errors when a domain's
@@ -64,6 +69,11 @@ func (s *System) CaptureState() (State, error) {
 			Monitor:    mon.CaptureState(),
 		}
 	}
+	blob, err := s.pol.CaptureState()
+	if err != nil {
+		return State{}, fmt.Errorf("control: capture %s policy state: %w", s.pol.Name(), err)
+	}
+	st.PolicyState = blob
 	return st, nil
 }
 
@@ -101,6 +111,7 @@ func (s *System) RestoreState(st State) error {
 		mon.RestoreState(ds.Monitor)
 		s.active[a.Domain] = mon
 		s.assigns[a.Domain] = a
+		s.bindPolicyDomain(a.Domain, a, s.Chip.Domains[a.Domain].Rail)
 		if ds.LastRate != 0 {
 			s.lastRate[a.Domain] = ds.LastRate
 		}
@@ -114,6 +125,13 @@ func (s *System) RestoreState(st State) error {
 		mon.Activate(a.Set, a.Way)
 		mon.RestoreState(st.Uncore.Monitor)
 		s.uncore = &uncoreState{mon: mon, assign: a}
+		s.bindPolicyDomain(UncoreDomainID, a, s.Chip.UncoreRail)
+	}
+	// Bind-then-restore: BindDomain re-derived every characterized
+	// operating point above, and the overlay re-applies the mutable state
+	// (a guardband freeze, tscache accounting) on top of it.
+	if err := s.pol.RestoreState(st.PolicyState); err != nil {
+		return fmt.Errorf("control: restore %s policy state: %w", s.pol.Name(), err)
 	}
 	return nil
 }

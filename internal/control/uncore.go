@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"eccspec/internal/monitor"
+	"eccspec/internal/policy"
 	"eccspec/internal/variation"
 )
 
@@ -40,6 +41,7 @@ func (s *System) AttachUncore() (Assignment, error) {
 		mon := monitor.New(s.Chip.L3, monitor.Config{})
 		mon.Activate(set, way)
 		s.uncore = &uncoreState{mon: mon, assign: a}
+		s.bindPolicyDomain(UncoreDomainID, a, s.Chip.UncoreRail)
 		return a, nil
 	}
 	return Assignment{}, fmt.Errorf("control: no correctable errors found in the L3 above %.3f V",
@@ -69,19 +71,19 @@ func (s *System) tickUncore() (Action, bool) {
 		act.ErrorRate = mon.ErrorRate()
 		rail.StepUp(s.Cfg.EmergencySteps)
 		mon.ResetCounters()
-	} else if acc, _ := mon.Counters(); acc >= s.Cfg.DecisionProbes {
+	} else if acc, errs := mon.Counters(); acc >= s.Cfg.DecisionProbes {
 		rate := mon.ErrorRate()
 		act.ErrorRate = rate
-		switch {
-		case rate > s.Cfg.CeilRate:
-			act.Kind = StepUp
-			rail.StepUp(1)
-		case rate < s.Cfg.FloorRate:
-			act.Kind = StepDown
-			rail.StepDown(1)
-		default:
-			act.Kind = Hold
-		}
+		act.Kind = s.applyDecision(rail, s.pol.Decide(policy.Input{
+			Domain:    UncoreDomainID,
+			Tick:      s.Chip.Ticks(),
+			ErrorRate: rate,
+			Accesses:  acc,
+			Errors:    errs,
+			TargetV:   rail.Target(),
+			NominalV:  s.Chip.P.Point.NominalVdd,
+			StepV:     rail.Params().StepV,
+		}))
 		mon.ResetCounters()
 	} else {
 		act.Kind = Pending

@@ -1,0 +1,65 @@
+package engine_test
+
+// `make bench-snapshot` harness: set ECCSPEC_BENCH_TICKS_OUT to a path
+// and TestBenchSnapshot writes a BENCH_ticks.json performance snapshot
+// — single-chip tick latency from BenchmarkEngineTick plus fleet
+// throughput from a parallel micro-run — so CI archives a comparable
+// number per commit. Without the env var the test skips, keeping plain
+// `go test ./...` fast.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"eccspec/internal/fleet"
+)
+
+func TestBenchSnapshot(t *testing.T) {
+	out := os.Getenv("ECCSPEC_BENCH_TICKS_OUT")
+	if out == "" {
+		t.Skip("set ECCSPEC_BENCH_TICKS_OUT to write a benchmark snapshot")
+	}
+
+	tick := testing.Benchmark(BenchmarkEngineTick)
+	nsPerTick := float64(tick.NsPerOp())
+
+	job := fleet.Job{Workload: "jbb-8wh", Seconds: 0.05}
+	for seed := uint64(4000); seed < 4008; seed++ {
+		job.Seeds = append(job.Seeds, seed)
+	}
+	eng := fleet.New(fleet.Config{Workers: 4})
+	start := time.Now()
+	results, err := eng.Run(context.Background(), job, nil)
+	if err != nil {
+		t.Fatalf("fleet micro-run: %v", err)
+	}
+	elapsed := time.Since(start)
+	chips := 0
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("chip %d failed: %v", r.Seed, r.Err)
+		}
+		chips++
+	}
+
+	blob, err := json.MarshalIndent(map[string]any{
+		"bench":           "ticks",
+		"ns_per_tick":     nsPerTick,
+		"ticks_per_sec":   1e9 / nsPerTick,
+		"allocs_per_tick": tick.AllocsPerOp(),
+		"fleet_chips":     chips,
+		"fleet_workers":   eng.Workers(),
+		"fleet_elapsed_s": elapsed.Seconds(),
+		"chips_per_min":   float64(chips) / elapsed.Minutes(),
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

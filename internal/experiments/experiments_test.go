@@ -10,7 +10,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "retention", "aging", "temp",
 		"ablate-band", "ablate-proberate", "ablate-step", "ablate-rails",
-		"methodology", "compare", "freqscale", "uncorespec", "fanspeed", "validate", "soak", "pareto"}
+		"methodology", "compare", "freqscale", "uncorespec", "fanspeed", "validate", "soak", "pareto",
+		"policies"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %s not registered", id)

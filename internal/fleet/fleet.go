@@ -20,10 +20,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"eccspec"
 	"eccspec/internal/engine"
+	"eccspec/internal/policy"
 	"eccspec/internal/snapshot"
 	"eccspec/internal/trace"
 	"eccspec/internal/workload"
@@ -43,6 +45,10 @@ type Job struct {
 	// Workload names the benchmark every core runs (empty selects the
 	// characterization stress test).
 	Workload string `json:"workload,omitempty"`
+	// Policy names the speculation policy driving every chip's control
+	// system (empty selects the paper's floor/ceiling ladder). The field
+	// serializes with the job, so cluster workers run the same policy.
+	Policy string `json:"policy,omitempty"`
 	// Seconds is the simulated duration of the closed-loop speculation
 	// run after calibration.
 	Seconds float64 `json:"seconds"`
@@ -121,6 +127,12 @@ func (j Job) Validate() error {
 	if j.Workload != "" {
 		if _, ok := workload.ByName(j.Workload); !ok {
 			return fmt.Errorf("fleet: unknown workload %q", j.Workload)
+		}
+	}
+	if j.Policy != "" {
+		if _, ok := policy.Get(j.Policy); !ok {
+			return fmt.Errorf("fleet: unknown policy %q (registered: %s)",
+				j.Policy, strings.Join(policy.Names(), ", "))
 		}
 	}
 	return nil
@@ -303,6 +315,10 @@ func simulateChip(ctx context.Context, job Job, seed uint64) (res ChipResult) {
 			res.Err = fmt.Errorf("resume: checkpoint is for seed %d, not %d", got, seed)
 			return res
 		}
+		if got, want := restored.Opts().Policy, policy.Resolve(job.Policy); got != want {
+			res.Err = fmt.Errorf("resume: checkpoint ran policy %q, job wants %q", got, want)
+			return res
+		}
 		sim = restored
 		start = st.Ticks
 		if job.TraceEvery > 0 {
@@ -321,6 +337,7 @@ func simulateChip(ctx context.Context, job Job, seed uint64) (res ChipResult) {
 		sim, err = eccspec.NewSimulator(eccspec.Options{
 			Seed:             seed,
 			Workload:         job.Workload,
+			Policy:           job.Policy,
 			HighVoltagePoint: job.HighVoltagePoint,
 			FullGeometry:     job.FullGeometry,
 		})

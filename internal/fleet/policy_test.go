@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFleetPolicyDrivesChips proves Job.Policy reaches the per-chip
+// control loops: a conservative fleet never leaves nominal, while the
+// same seeds under the default ladder do.
+func TestFleetPolicyDrivesChips(t *testing.T) {
+	base := Job{Seeds: []uint64{31, 32}, Workload: "mcf", Seconds: 0.03}
+	eng := New(Config{Workers: 2})
+
+	pinned := base
+	pinned.Policy = "conservative"
+	results, err := eng.Run(context.Background(), pinned, nil)
+	if err != nil {
+		t.Fatalf("conservative fleet: %v", err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("chip %d failed: %v", r.Seed, r.Err)
+		}
+		if r.AvgReduction != 0 {
+			t.Errorf("chip %d: conservative policy reduced Vdd by %.4f, want 0", r.Seed, r.AvgReduction)
+		}
+		for d, v := range r.DomainVdd {
+			if v != r.NominalV {
+				t.Errorf("chip %d domain %d settled at %.3f V, want nominal %.3f V", r.Seed, d, v, r.NominalV)
+			}
+		}
+	}
+
+	ladder, err := eng.Run(context.Background(), base, nil)
+	if err != nil {
+		t.Fatalf("default fleet: %v", err)
+	}
+	for _, r := range ladder {
+		if r.Err != nil {
+			t.Fatalf("chip %d failed: %v", r.Seed, r.Err)
+		}
+		if r.AvgReduction <= 0 {
+			t.Errorf("chip %d: default ladder reduction %.4f, want > 0", r.Seed, r.AvgReduction)
+		}
+	}
+}
+
+// TestFleetRejectsUnknownPolicy: validation fails before any chip runs,
+// and the error lists the registered names.
+func TestFleetRejectsUnknownPolicy(t *testing.T) {
+	_, err := New(Config{Workers: 1}).Run(context.Background(),
+		Job{Seeds: []uint64{1}, Seconds: 0.01, Policy: "nosuch"}, nil)
+	if err == nil {
+		t.Fatal("fleet accepted unknown policy")
+	}
+	for _, want := range []string{"nosuch", "paper", "tscache"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestResumeRejectsPolicyMismatch: a checkpoint captured under one
+// policy cannot silently continue under another — the chip errors,
+// naming both policies.
+func TestResumeRejectsPolicyMismatch(t *testing.T) {
+	job := Job{
+		Seeds:           []uint64{601},
+		Seconds:         0.03,
+		Policy:          "guardband",
+		CheckpointEvery: 25,
+	}
+	var (
+		mu   sync.Mutex
+		blob []byte
+	)
+	job.OnCheckpoint = func(_ uint64, _ int, b []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		if blob == nil {
+			blob = b
+		}
+	}
+	eng := New(Config{Workers: 1})
+	if _, err := eng.Run(context.Background(), job, nil); err != nil {
+		t.Fatalf("checkpointing run: %v", err)
+	}
+	if blob == nil {
+		t.Fatal("no checkpoint captured")
+	}
+
+	mismatch := Job{
+		Seeds:   job.Seeds,
+		Seconds: job.Seconds,
+		Policy:  "tscache",
+		Resume:  map[uint64][]byte{601: blob},
+	}
+	results, err := eng.Run(context.Background(), mismatch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("policy-mismatched resume did not error")
+	}
+	msg := results[0].Err.Error()
+	if !strings.Contains(msg, "guardband") || !strings.Contains(msg, "tscache") {
+		t.Fatalf("mismatch error %q does not name both policies", msg)
+	}
+}

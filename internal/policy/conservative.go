@@ -1,0 +1,35 @@
+package policy
+
+// The no-speculation baseline: rails stay at the rated supply, exactly
+// as a production system without any margin-reduction scheme runs. Its
+// purpose in the registry is to anchor the compare harness — energy,
+// Vdd reduction and DUE rate of every real policy are read against it.
+
+func init() {
+	Register(Info{
+		Name:        "conservative",
+		Description: "no speculation: every rail holds the rated nominal supply",
+		New:         func() Policy { return &Conservative{} },
+	})
+}
+
+// Conservative never leaves nominal. If anything has moved the rail (an
+// emergency raise, a disturbance experiment), the next decision pins it
+// back to nominal.
+type Conservative struct {
+	stateless
+}
+
+// Name implements Policy.
+func (c *Conservative) Name() string { return "conservative" }
+
+// BindDomain implements Policy; the baseline ignores characterization.
+func (c *Conservative) BindDomain(DomainInfo) {}
+
+// Decide pins the rail at nominal.
+func (c *Conservative) Decide(in Input) Decision {
+	if in.TargetV != in.NominalV {
+		return Decision{Verdict: SetTarget, TargetV: in.NominalV}
+	}
+	return Decision{Verdict: Hold}
+}

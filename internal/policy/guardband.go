@@ -1,0 +1,153 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Static guardband reduction in the style of the MPSoC voltage-margin
+// work (arXiv:2209.12134): an offline characterization measures each
+// domain's real margin, and the running system then operates at a fixed
+// reduced guardband above that measured point — no continuous feedback
+// loop. Here the characterization is the calibration sweep's onset
+// voltage (the first correctable error of the domain's weakest line),
+// delivered through BindDomain; the policy walks the rail down one step
+// per decision until it sits MarginSteps above the onset, then holds.
+//
+// The scheme's known weakness is exactly what the source paper argues:
+// a static margin cannot see conditions drift. The policy therefore
+// carries the standard fallback — any corrected error observed below
+// nominal means the characterized margin was optimistic, at which point
+// the domain backs off BackoffSteps and freezes there for the rest of
+// the run (a field recall of the aggressive setting).
+
+func init() {
+	Register(Info{
+		Name:        "guardband",
+		Description: "static margin reduction from offline characterization (arXiv:2209.12134)",
+		New:         NewGuardband,
+	})
+}
+
+// Guardband defaults.
+const (
+	// DefaultMarginSteps is the retained guardband above the
+	// characterized onset, in regulator steps (3 steps = 15 mV at the
+	// paper's 5 mV step).
+	DefaultMarginSteps = 3
+	// DefaultBackoffSteps is the retreat applied when the static margin
+	// proves too thin, in regulator steps above the setpoint that
+	// observed the error.
+	DefaultBackoffSteps = 2
+)
+
+// guardbandDomain is one domain's state. targetV derives from
+// BindDomain (re-derived on restore); holdV/frozen are the mutable
+// fallback state carried through checkpoints.
+type guardbandDomain struct {
+	targetV float64 // characterized reduced-guardband setpoint
+	nominal float64
+	stepV   float64
+
+	Frozen bool    `json:"frozen,omitempty"`
+	HoldV  float64 `json:"hold_v,omitempty"`
+}
+
+// Guardband is the static margin-reduction ladder.
+type Guardband struct {
+	MarginSteps  int
+	BackoffSteps int
+	domains      map[int]*guardbandDomain
+}
+
+// NewGuardband builds the policy with default margins.
+func NewGuardband() Policy {
+	return &Guardband{
+		MarginSteps:  DefaultMarginSteps,
+		BackoffSteps: DefaultBackoffSteps,
+		domains:      make(map[int]*guardbandDomain),
+	}
+}
+
+// Name implements Policy.
+func (g *Guardband) Name() string { return "guardband" }
+
+// BindDomain records the domain's characterized operating point:
+// MarginSteps above the onset voltage, never above nominal. Rebinding
+// (recalibration) resets the fallback state — it is a fresh
+// characterization.
+func (g *Guardband) BindDomain(d DomainInfo) {
+	target := d.OnsetV + float64(g.MarginSteps)*d.StepV
+	if target > d.NominalV {
+		target = d.NominalV
+	}
+	g.domains[d.Domain] = &guardbandDomain{
+		targetV: target,
+		nominal: d.NominalV,
+		stepV:   d.StepV,
+	}
+}
+
+// Decide walks the rail toward the characterized setpoint one step per
+// decision, holds once there, and backs off permanently on evidence the
+// static margin was mischaracterized.
+func (g *Guardband) Decide(in Input) Decision {
+	d := g.domains[in.Domain]
+	if d == nil {
+		return Decision{Verdict: Hold}
+	}
+	if d.Frozen {
+		if in.TargetV != d.HoldV {
+			return Decision{Verdict: SetTarget, TargetV: d.HoldV}
+		}
+		return Decision{Verdict: Hold}
+	}
+	if in.Errors > 0 && in.TargetV < in.NominalV {
+		// Corrected errors below nominal: the offline characterization
+		// promised none at this setpoint. Retreat and stop trusting it.
+		d.Frozen = true
+		d.HoldV = in.TargetV + float64(g.BackoffSteps)*in.StepV
+		if d.HoldV > in.NominalV {
+			d.HoldV = in.NominalV
+		}
+		return Decision{Verdict: SetTarget, TargetV: d.HoldV}
+	}
+	if in.TargetV > d.targetV+in.StepV/2 {
+		return Decision{Verdict: StepDown, Steps: 1}
+	}
+	return Decision{Verdict: Hold}
+}
+
+// CaptureState serializes the per-domain fallback state.
+func (g *Guardband) CaptureState() ([]byte, error) {
+	frozen := make(map[int]*guardbandDomain)
+	for id, d := range g.domains {
+		if d.Frozen {
+			frozen[id] = d
+		}
+	}
+	if len(frozen) == 0 {
+		return nil, nil
+	}
+	return json.Marshal(frozen)
+}
+
+// RestoreState overlays captured fallback state onto bound domains.
+func (g *Guardband) RestoreState(blob []byte) error {
+	if len(blob) == 0 {
+		return nil
+	}
+	var frozen map[int]*guardbandDomain
+	if err := json.Unmarshal(blob, &frozen); err != nil {
+		return fmt.Errorf("policy: guardband state: %w", err)
+	}
+	for id, st := range frozen {
+		d := g.domains[id]
+		if d == nil {
+			return fmt.Errorf("policy: guardband state for unbound domain %d", id)
+		}
+		d.Frozen = st.Frozen
+		d.HoldV = st.HoldV
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package policy
+
+// The source paper's policy (§III-B): keep every domain inside a band
+// of persistent-but-benign correctable errors. Above the ceiling the
+// rail steps up one notch, below the floor it steps down one notch, in
+// between it holds. The error rate of the domain's weakest line is a
+// live measurement of remaining margin, so this ladder tracks process
+// variation, workload swings and voltage noise with no recovery
+// hardware at all.
+
+// Paper band defaults (the paper's 1% and 5%). internal/control builds
+// its default policy from its own Config so experiments that sweep the
+// band (the ablation study) keep working; these constants parameterize
+// the registry's stock instance.
+const (
+	DefaultFloorRate = 0.01
+	DefaultCeilRate  = 0.05
+)
+
+func init() {
+	Register(Info{
+		Name:        "paper",
+		Description: "ECC feedback floor/ceiling error-rate ladder (the source paper, MICRO 2014)",
+		New:         func() Policy { return NewPaper(DefaultFloorRate, DefaultCeilRate) },
+	})
+}
+
+// Paper is the floor/ceiling correctable-error-rate ladder. It is
+// stateless: every decision is a pure function of the window's rate.
+type Paper struct {
+	stateless
+	// FloorRate and CeilRate bound the target correctable-error rate.
+	FloorRate float64
+	CeilRate  float64
+}
+
+// NewPaper builds the ladder with the given band.
+func NewPaper(floor, ceil float64) *Paper {
+	return &Paper{FloorRate: floor, CeilRate: ceil}
+}
+
+// Name implements Policy.
+func (p *Paper) Name() string { return "paper" }
+
+// BindDomain implements Policy; the ladder needs no characterization.
+func (p *Paper) BindDomain(DomainInfo) {}
+
+// Decide applies the band: above the ceiling step up, below the floor
+// step down, inside hold. The comparisons are exactly the pre-registry
+// control loop's, so the default policy is byte-identical to it.
+func (p *Paper) Decide(in Input) Decision {
+	switch {
+	case in.ErrorRate > p.CeilRate:
+		return Decision{Verdict: StepUp, Steps: 1}
+	case in.ErrorRate < p.FloorRate:
+		return Decision{Verdict: StepDown, Steps: 1}
+	default:
+		return Decision{Verdict: Hold}
+	}
+}

@@ -1,0 +1,132 @@
+// Package policy defines the pluggable speculation-policy contract the
+// voltage control system (internal/control) drives, plus a process-wide
+// registry of named policies.
+//
+// The control system owns the machinery every policy shares — monitor
+// provisioning and probing, emergency-interrupt servicing, the stall
+// watchdog and self-test cross-check, fail-safe reversion — and
+// delegates exactly one thing: the per-domain decision once a window's
+// worth of probes has accumulated. A Policy sees the window's observed
+// correctable-error rate, the raw counters behind it, and the rail's
+// current setpoint, and answers with a rail move. The paper's
+// floor/ceiling error-rate ladder is one such policy (the default);
+// competitors from the related work — TS Cache-style timing speculation
+// (arXiv:1904.11200), static guardband reduction for MPSoCs
+// (arXiv:2209.12134), and a no-speculation baseline — are registered
+// alongside it, so experiments can race control strategies on identical
+// chips.
+//
+// Determinism contract: a Policy must be a pure function of its inputs
+// and its own explicit state. No clocks, no randomness, no global
+// mutation — two policies of the same name fed the same decision
+// sequence must emit the same verdicts, and CaptureState/RestoreState
+// must round-trip every bit of mutable state so a restored run continues
+// byte-identically to an uninterrupted one.
+package policy
+
+// Verdict classifies a policy's rail move.
+type Verdict int
+
+const (
+	// Hold leaves the rail where it is.
+	Hold Verdict = iota
+	// StepDown lowers the rail Decision.Steps regulator steps.
+	StepDown
+	// StepUp raises the rail Decision.Steps regulator steps.
+	StepUp
+	// SetTarget moves the rail to the absolute setpoint
+	// Decision.TargetV (used by characterization-driven policies that
+	// think in volts, not steps).
+	SetTarget
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Hold:
+		return "hold"
+	case StepDown:
+		return "down"
+	case StepUp:
+		return "up"
+	case SetTarget:
+		return "set-target"
+	default:
+		return "unknown"
+	}
+}
+
+// Input is everything a policy sees at one decision point. The control
+// system fills it from the domain's active ECC monitor and rail; the
+// monitor's counters cover exactly the window since the previous
+// decision (they reset afterwards).
+type Input struct {
+	// Domain is the voltage domain deciding (control.UncoreDomainID,
+	// i.e. -1, for the uncore rail).
+	Domain int
+	// Tick is the chip's control-tick counter at the decision.
+	Tick int
+	// ErrorRate is the window's correctable-error rate (Errors /
+	// Accesses).
+	ErrorRate float64
+	// Accesses and Errors are the window's raw monitor counters.
+	Accesses uint64
+	Errors   uint64
+	// TargetV is the rail's current regulator setpoint in volts.
+	TargetV float64
+	// NominalV is the operating point's rated supply in volts.
+	NominalV float64
+	// StepV is one regulator step in volts.
+	StepV float64
+}
+
+// Decision is a policy's verdict for one domain at one decision point.
+type Decision struct {
+	Verdict Verdict
+	// Steps is the move size for StepUp/StepDown; <= 0 means 1.
+	Steps int
+	// TargetV is the absolute setpoint for SetTarget.
+	TargetV float64
+}
+
+// DomainInfo describes a calibrated domain to a policy: the offline
+// characterization result every related-work scheme starts from.
+type DomainInfo struct {
+	// Domain is the voltage domain id (control.UncoreDomainID for the
+	// uncore rail).
+	Domain int
+	// OnsetV is the calibration sweep voltage at which the domain's
+	// weakest line first reported a correctable error.
+	OnsetV float64
+	// NominalV is the rated supply in volts.
+	NominalV float64
+	// StepV is one regulator step in volts.
+	StepV float64
+}
+
+// Policy is one speculation control strategy. Implementations must obey
+// the package determinism contract; the control system calls BindDomain
+// once per calibrated domain (and again on recalibration or restore)
+// before any Decide for that domain.
+type Policy interface {
+	// Name returns the policy's registered name.
+	Name() string
+	// BindDomain hands the policy a domain's calibration outcome.
+	// Rebinding the same domain resets any per-domain state (a
+	// recalibration is a fresh characterization).
+	BindDomain(DomainInfo)
+	// Decide answers one decision point.
+	Decide(Input) Decision
+	// CaptureState serializes the policy's mutable state (nil when the
+	// policy is stateless). The blob rides the snapshot envelope.
+	CaptureState() ([]byte, error)
+	// RestoreState overlays previously captured state; it is called
+	// after every domain has been re-bound.
+	RestoreState([]byte) error
+}
+
+// stateless is embedded by policies with no mutable state.
+type stateless struct{}
+
+func (stateless) CaptureState() ([]byte, error) { return nil, nil }
+func (stateless) RestoreState([]byte) error     { return nil }

@@ -1,0 +1,316 @@
+package policy
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// --- registry semantics ------------------------------------------------
+
+func TestRegistryBuiltinsRegistered(t *testing.T) {
+	want := []string{"conservative", "guardband", "paper", "tscache"}
+	names := Names()
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("built-in policy %q missing from Names() = %v", w, names)
+		}
+	}
+	if !reflect.DeepEqual(names, append([]string(nil), names...)) || !isSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+}
+
+func isSorted(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegistryRegisterOverwriteAndGet(t *testing.T) {
+	Register(Info{Name: "test-dummy", Description: "first", New: func() Policy { return &Conservative{} }})
+	Register(Info{Name: "test-dummy", Description: "second", New: func() Policy { return &Conservative{} }})
+	t.Cleanup(func() {
+		regMu.Lock()
+		delete(registry, "test-dummy")
+		regMu.Unlock()
+	})
+	info, ok := Get("test-dummy")
+	if !ok {
+		t.Fatal("Get after Register failed")
+	}
+	if info.Description != "second" {
+		t.Fatalf("Register did not overwrite: got %q", info.Description)
+	}
+	n := 0
+	for _, i := range All() {
+		if i.Name == "test-dummy" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("All() lists test-dummy %d times after overwrite, want 1", n)
+	}
+}
+
+func TestRegistryUnknownGetListsNames(t *testing.T) {
+	if _, ok := Get("no-such-policy"); ok {
+		t.Fatal("Get of unknown name succeeded")
+	}
+	_, err := New("no-such-policy")
+	if err == nil {
+		t.Fatal("New of unknown name succeeded")
+	}
+	for _, want := range []string{"no-such-policy", "paper", "tscache", "guardband", "conservative"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("unknown-policy error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestResolveAndDefault(t *testing.T) {
+	if Resolve("") != Default {
+		t.Fatalf("Resolve(\"\") = %q, want %q", Resolve(""), Default)
+	}
+	p, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "paper" {
+		t.Fatalf("default policy is %q, want paper", p.Name())
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	for _, bad := range []Info{
+		{Name: "", New: func() Policy { return &Conservative{} }},
+		{Name: "x", New: nil},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register(%+v) did not panic", bad)
+				}
+			}()
+			Register(bad)
+		}()
+	}
+}
+
+// --- paper ladder ------------------------------------------------------
+
+func TestPaperBand(t *testing.T) {
+	p := NewPaper(0.01, 0.05)
+	cases := []struct {
+		rate float64
+		want Verdict
+	}{
+		{0.0, StepDown}, {0.009, StepDown}, {0.01, Hold},
+		{0.03, Hold}, {0.05, Hold}, {0.051, StepUp}, {0.9, StepUp},
+	}
+	for _, c := range cases {
+		d := p.Decide(Input{ErrorRate: c.rate})
+		if d.Verdict != c.want {
+			t.Fatalf("rate %g: verdict %v, want %v", c.rate, d.Verdict, c.want)
+		}
+		if d.Verdict != Hold && d.Steps != 1 {
+			t.Fatalf("rate %g: steps %d, want 1", c.rate, d.Steps)
+		}
+	}
+}
+
+// --- conservative ------------------------------------------------------
+
+func TestConservativePinsNominal(t *testing.T) {
+	c := &Conservative{}
+	if d := c.Decide(Input{TargetV: 0.8, NominalV: 0.8}); d.Verdict != Hold {
+		t.Fatalf("at nominal: %v, want hold", d.Verdict)
+	}
+	d := c.Decide(Input{TargetV: 0.75, NominalV: 0.8})
+	if d.Verdict != SetTarget || d.TargetV != 0.8 {
+		t.Fatalf("below nominal: %+v, want set-target 0.8", d)
+	}
+}
+
+// --- guardband ---------------------------------------------------------
+
+func TestGuardbandDescendsToCharacterizedTarget(t *testing.T) {
+	g := NewGuardband().(*Guardband)
+	g.BindDomain(DomainInfo{Domain: 0, OnsetV: 0.700, NominalV: 0.800, StepV: 0.005})
+	want := 0.700 + float64(g.MarginSteps)*0.005
+	v := 0.800
+	for i := 0; i < 100; i++ {
+		d := g.Decide(Input{Domain: 0, TargetV: v, NominalV: 0.800, StepV: 0.005})
+		if d.Verdict == Hold {
+			break
+		}
+		if d.Verdict != StepDown {
+			t.Fatalf("step %d: verdict %v", i, d.Verdict)
+		}
+		v -= 0.005
+	}
+	if v > want+0.0026 || v < want-0.0026 {
+		t.Fatalf("settled at %.3f V, want ~%.3f V", v, want)
+	}
+	// Unbound domains hold.
+	if d := g.Decide(Input{Domain: 9, TargetV: 0.8}); d.Verdict != Hold {
+		t.Fatalf("unbound domain: %v, want hold", d.Verdict)
+	}
+}
+
+func TestGuardbandBacksOffOnErrorsAndFreezes(t *testing.T) {
+	g := NewGuardband().(*Guardband)
+	g.BindDomain(DomainInfo{Domain: 0, OnsetV: 0.700, NominalV: 0.800, StepV: 0.005})
+	d := g.Decide(Input{Domain: 0, TargetV: 0.750, NominalV: 0.800, StepV: 0.005,
+		Accesses: 200, Errors: 3, ErrorRate: 0.015})
+	wantHold := 0.750 + float64(g.BackoffSteps)*0.005
+	if d.Verdict != SetTarget || d.TargetV != wantHold {
+		t.Fatalf("backoff: %+v, want set-target %.3f", d, wantHold)
+	}
+	// Frozen: further error-free windows never descend again.
+	d = g.Decide(Input{Domain: 0, TargetV: wantHold, NominalV: 0.800, StepV: 0.005})
+	if d.Verdict != Hold {
+		t.Fatalf("after freeze: %v, want hold", d.Verdict)
+	}
+	// State round-trip preserves the freeze.
+	blob, err := g.CaptureState()
+	if err != nil || blob == nil {
+		t.Fatalf("capture: blob=%v err=%v", blob, err)
+	}
+	g2 := NewGuardband().(*Guardband)
+	g2.BindDomain(DomainInfo{Domain: 0, OnsetV: 0.700, NominalV: 0.800, StepV: 0.005})
+	if err := g2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	d = g2.Decide(Input{Domain: 0, TargetV: wantHold, NominalV: 0.800, StepV: 0.005})
+	if d.Verdict != Hold {
+		t.Fatalf("restored policy forgot the freeze: %v", d.Verdict)
+	}
+	if err := g2.RestoreState([]byte("{bad")); err == nil {
+		t.Fatal("corrupt state restored without error")
+	}
+}
+
+func TestGuardbandRestoreUnboundDomainErrors(t *testing.T) {
+	g := NewGuardband().(*Guardband)
+	g.BindDomain(DomainInfo{Domain: 0, OnsetV: 0.7, NominalV: 0.8, StepV: 0.005})
+	g.Decide(Input{Domain: 0, TargetV: 0.75, NominalV: 0.8, StepV: 0.005, Errors: 1, ErrorRate: 0.01})
+	blob, _ := g.CaptureState()
+	fresh := NewGuardband().(*Guardband) // no domains bound
+	if err := fresh.RestoreState(blob); err == nil {
+		t.Fatal("restore onto unbound domains did not error")
+	}
+}
+
+// --- tscache -----------------------------------------------------------
+
+func TestTSCacheBandAndAccounting(t *testing.T) {
+	ts := NewTSCache().(*TSCache)
+	d := ts.Decide(Input{Accesses: 200, Errors: 4, ErrorRate: 0.02})
+	if d.Verdict != StepDown {
+		t.Fatalf("under band: %v, want down", d.Verdict)
+	}
+	d = ts.Decide(Input{Accesses: 200, Errors: 24, ErrorRate: 0.12})
+	if d.Verdict != Hold {
+		t.Fatalf("in band: %v, want hold", d.Verdict)
+	}
+	d = ts.Decide(Input{Accesses: 200, Errors: 60, ErrorRate: 0.30})
+	if d.Verdict != StepUp {
+		t.Fatalf("over band: %v, want up", d.Verdict)
+	}
+	st := ts.Stats()
+	if st.Replays != 4+24+60 || st.SpecHits != 196+176+140 {
+		t.Fatalf("accounting wrong: %+v", st)
+	}
+	// State round-trip.
+	blob, err := ts.CaptureState()
+	if err != nil || blob == nil {
+		t.Fatalf("capture: %v %v", blob, err)
+	}
+	ts2 := NewTSCache().(*TSCache)
+	if err := ts2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if ts2.Stats() != st {
+		t.Fatalf("restored stats %+v != %+v", ts2.Stats(), st)
+	}
+	if err := ts2.RestoreState([]byte("nope")); err == nil {
+		t.Fatal("corrupt state restored without error")
+	}
+}
+
+func TestTSCacheOverheadBudgetForcesRetreat(t *testing.T) {
+	ts := NewTSCache().(*TSCache)
+	// Saturate the cumulative overhead with heavy replay windows.
+	for i := 0; i < 50; i++ {
+		ts.Decide(Input{Accesses: 200, Errors: 60, ErrorRate: 0.30})
+	}
+	if ov := ts.Stats().Overhead(ts.ReplayPenalty); ov <= ts.MaxOverhead {
+		t.Fatalf("test setup: overhead %.3f not above budget %.3f", ov, ts.MaxOverhead)
+	}
+	// In-band rate, but the budget is blown: must step up.
+	d := ts.Decide(Input{Accesses: 200, Errors: 24, ErrorRate: 0.12})
+	if d.Verdict != StepUp {
+		t.Fatalf("over budget: %v, want up", d.Verdict)
+	}
+}
+
+// --- determinism: same input sequence, same verdict trace ---------------
+
+func TestPoliciesDeterministicDecisionTrace(t *testing.T) {
+	inputs := make([]Input, 0, 60)
+	v := 0.800
+	for i := 0; i < 60; i++ {
+		rate := float64(i%13) / 100
+		inputs = append(inputs, Input{
+			Domain: i % 4, Tick: i, ErrorRate: rate,
+			Accesses: 200, Errors: uint64(rate * 200),
+			TargetV: v, NominalV: 0.800, StepV: 0.005,
+		})
+		v -= 0.001
+	}
+	for _, name := range Names() {
+		run := func() []Decision {
+			p, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for d := 0; d < 4; d++ {
+				p.BindDomain(DomainInfo{Domain: d, OnsetV: 0.690, NominalV: 0.800, StepV: 0.005})
+			}
+			out := make([]Decision, 0, len(inputs))
+			for _, in := range inputs {
+				out = append(out, p.Decide(in))
+			}
+			return out
+		}
+		if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: two identical runs produced different decision traces", name)
+		}
+	}
+}
+
+func TestStatelessPoliciesCaptureNil(t *testing.T) {
+	for _, name := range []string{"paper", "conservative"} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := p.CaptureState()
+		if err != nil || blob != nil {
+			t.Fatalf("%s: capture = (%v, %v), want (nil, nil)", name, blob, err)
+		}
+		if err := p.RestoreState(nil); err != nil {
+			t.Fatalf("%s: restore(nil): %v", name, err)
+		}
+	}
+}

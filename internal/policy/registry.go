@@ -1,0 +1,98 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Default is the policy a simulator runs when none is named: the
+// source paper's floor/ceiling correctable-error-rate ladder.
+const Default = "paper"
+
+// Info describes one registered policy.
+type Info struct {
+	// Name addresses the policy everywhere a policy is named: CLI
+	// flags, fleet job specs, the eccspecd API, checkpoints.
+	Name string
+	// Description is the one-liner shown by usage text and /healthz.
+	Description string
+	// New builds a fresh instance with the policy's default tuning.
+	// Each control system gets its own instance; instances are never
+	// shared between chips.
+	New func() Policy
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Info{}
+)
+
+// Register adds (or replaces) a policy by name. The per-policy files'
+// init functions register the built-ins; tests and extensions may
+// overwrite them. Empty names and nil constructors panic: both indicate
+// a programming error, not runtime input.
+func Register(info Info) {
+	if info.Name == "" {
+		panic("policy: Register with empty name")
+	}
+	if info.New == nil {
+		panic("policy: Register " + info.Name + " with nil constructor")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[info.Name] = info
+}
+
+// Get looks a policy up by name.
+func Get(name string) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	info, ok := registry[name]
+	return info, ok
+}
+
+// All returns every registered policy, sorted by name.
+func All() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Info, 0, len(registry))
+	for _, info := range registry {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the registered policy names, sorted. Error messages for
+// unknown names should quote this list.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, info := range all {
+		names[i] = info.Name
+	}
+	return names
+}
+
+// Resolve canonicalizes a policy name: empty selects Default. It does
+// not check registration — pair with Get or New for that.
+func Resolve(name string) string {
+	if name == "" {
+		return Default
+	}
+	return name
+}
+
+// New instantiates a policy by name (empty selects Default). Unknown
+// names error with the registered names spelled out.
+func New(name string) (Policy, error) {
+	name = Resolve(name)
+	info, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return info.New(), nil
+}

@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Timing speculation in the style of TS Cache (arXiv:1904.11200): SRAM
+// reads issue on an aggressive timing and a detection path catches the
+// ones that mis-sampled, replaying them at full latency. Mapped onto
+// this platform, the SECDED correction path plays the detector: a
+// corrected event on the monitored line is a caught mis-speculation
+// whose cost is one replay, and an error-free probe is a speculative
+// hit that banked the aggressive timing's savings.
+//
+// Because every mis-speculation is repaired, the policy tolerates a far
+// denser error stream than the paper's 1-5% band — it regulates the
+// replay *overhead*, not the error count. Each decision window it
+// accounts hits and replays, and steers the rail to keep the window's
+// replay rate inside [LowRate, HighRate] while the cumulative replay
+// overhead stays under MaxOverhead; blowing the overhead budget forces
+// a step up even from inside the band.
+
+func init() {
+	Register(Info{
+		Name:        "tscache",
+		Description: "TS Cache-style timing speculation with speculative-hit/replay accounting (arXiv:1904.11200)",
+		New:         NewTSCache,
+	})
+}
+
+// TS Cache defaults.
+const (
+	// DefaultTSLowRate / DefaultTSHighRate bound the per-window replay
+	// rate the policy steers into — deliberately deeper than the
+	// paper's corrigible band because replays repair themselves.
+	DefaultTSLowRate  = 0.08
+	DefaultTSHighRate = 0.20
+	// DefaultTSReplayPenalty is the cost of one replay in units of one
+	// speculative access (detect + full-latency reissue).
+	DefaultTSReplayPenalty = 4.0
+	// DefaultTSMaxOverhead caps the cumulative replay overhead —
+	// replays*penalty over total issue slots — before the policy
+	// retreats regardless of the instantaneous rate.
+	DefaultTSMaxOverhead = 0.5
+)
+
+// TSCacheStats is the policy's cumulative speculation accounting.
+type TSCacheStats struct {
+	// SpecHits counts probes that completed on the aggressive timing.
+	SpecHits uint64 `json:"spec_hits"`
+	// Replays counts probes the detection path caught and reissued.
+	Replays uint64 `json:"replays"`
+}
+
+// Overhead returns the cumulative replay overhead fraction under the
+// given per-replay penalty.
+func (s TSCacheStats) Overhead(penalty float64) float64 {
+	total := float64(s.SpecHits) + penalty*float64(s.Replays)
+	if total == 0 {
+		return 0
+	}
+	return penalty * float64(s.Replays) / total
+}
+
+// TSCache is the timing-speculation policy.
+type TSCache struct {
+	LowRate       float64
+	HighRate      float64
+	ReplayPenalty float64
+	MaxOverhead   float64
+
+	stats TSCacheStats
+}
+
+// NewTSCache builds the policy with default tuning.
+func NewTSCache() Policy {
+	return &TSCache{
+		LowRate:       DefaultTSLowRate,
+		HighRate:      DefaultTSHighRate,
+		ReplayPenalty: DefaultTSReplayPenalty,
+		MaxOverhead:   DefaultTSMaxOverhead,
+	}
+}
+
+// Name implements Policy.
+func (t *TSCache) Name() string { return "tscache" }
+
+// BindDomain implements Policy; the scheme needs no characterization —
+// it discovers the operating point from the replay stream.
+func (t *TSCache) BindDomain(DomainInfo) {}
+
+// Stats returns the cumulative speculative-hit/replay accounting.
+func (t *TSCache) Stats() TSCacheStats { return t.stats }
+
+// Decide books the window into the accounting, then steers: above the
+// replay band (or over the cumulative overhead budget) step up, below
+// the band step down, inside hold.
+func (t *TSCache) Decide(in Input) Decision {
+	t.stats.SpecHits += in.Accesses - in.Errors
+	t.stats.Replays += in.Errors
+	switch {
+	case in.ErrorRate > t.HighRate:
+		return Decision{Verdict: StepUp, Steps: 1}
+	case t.stats.Overhead(t.ReplayPenalty) > t.MaxOverhead:
+		return Decision{Verdict: StepUp, Steps: 1}
+	case in.ErrorRate < t.LowRate:
+		return Decision{Verdict: StepDown, Steps: 1}
+	default:
+		return Decision{Verdict: Hold}
+	}
+}
+
+// CaptureState serializes the cumulative accounting.
+func (t *TSCache) CaptureState() ([]byte, error) {
+	if t.stats == (TSCacheStats{}) {
+		return nil, nil
+	}
+	return json.Marshal(t.stats)
+}
+
+// RestoreState overlays captured accounting.
+func (t *TSCache) RestoreState(blob []byte) error {
+	if len(blob) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(blob, &t.stats); err != nil {
+		return fmt.Errorf("policy: tscache state: %w", err)
+	}
+	return nil
+}

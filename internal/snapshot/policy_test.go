@@ -1,0 +1,97 @@
+package snapshot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eccspec"
+)
+
+// newPolicySim builds a calibrated simulator running the named
+// speculation policy and advances it ticks control ticks.
+func newPolicySim(t *testing.T, seed uint64, pol string, ticks int) *eccspec.Simulator {
+	t.Helper()
+	sim, err := eccspec.NewSimulator(eccspec.Options{Seed: seed, Workload: "gcc", Policy: pol})
+	if err != nil {
+		t.Fatalf("new simulator (%s): %v", pol, err)
+	}
+	if err := sim.Calibrate(); err != nil {
+		t.Fatalf("calibrate (%s): %v", pol, err)
+	}
+	stepN(sim, ticks)
+	return sim
+}
+
+// TestRestoreNonDefaultPolicyByteIdentical proves the resume guarantee
+// holds for every registered policy, including the stateful ones whose
+// mutable state rides the control state's policy blob: interrupting a
+// run at a checkpoint and continuing is byte-identical to never
+// stopping.
+func TestRestoreNonDefaultPolicyByteIdentical(t *testing.T) {
+	const midTicks, moreTicks = 300, 300
+	for _, pol := range eccspec.PolicyNames() {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			t.Parallel()
+			orig := newPolicySim(t, 42, pol, midTicks)
+			blob, err := CaptureBlob(orig)
+			if err != nil {
+				t.Fatalf("capture: %v", err)
+			}
+			resumed, st, err := RestoreBlob(blob)
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if st.Ticks != midTicks {
+				t.Fatalf("restored state has %d ticks, want %d", st.Ticks, midTicks)
+			}
+			if got := resumed.Opts().Policy; got != pol {
+				t.Fatalf("restored simulator runs policy %q, want %q", got, pol)
+			}
+			stepN(orig, moreTicks)
+			stepN(resumed, moreTicks)
+			origBlob, err := CaptureBlob(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumedBlob, err := CaptureBlob(resumed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(origBlob, resumedBlob) {
+				t.Fatalf("policy %s: resumed run diverged from uninterrupted run", pol)
+			}
+		})
+	}
+}
+
+// TestCaptureOmitsDefaultPolicyName keeps default-policy blobs in their
+// pre-registry shape: no policy name, no policy state.
+func TestCaptureOmitsDefaultPolicyName(t *testing.T) {
+	sim := newCalibrated(t, 5, 50)
+	st, err := Capture(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Options.Policy != "" {
+		t.Fatalf("default-policy snapshot records policy %q, want empty", st.Options.Policy)
+	}
+	if st.Control.PolicyState != nil {
+		t.Fatalf("default-policy snapshot carries policy state %s", st.Control.PolicyState)
+	}
+}
+
+// TestRestoreRejectsUnknownPolicy: a blob naming an unregistered policy
+// fails cleanly.
+func TestRestoreRejectsUnknownPolicy(t *testing.T) {
+	sim := newPolicySim(t, 5, "tscache", 50)
+	st, err := Capture(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Options.Policy = "retired-policy"
+	if _, err := Restore(st); err == nil || !strings.Contains(err.Error(), "retired-policy") {
+		t.Fatalf("restore with unknown policy: err = %v, want mention of the name", err)
+	}
+}

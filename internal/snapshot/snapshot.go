@@ -26,6 +26,7 @@ import (
 	"eccspec"
 	"eccspec/internal/chip"
 	"eccspec/internal/control"
+	"eccspec/internal/policy"
 	"eccspec/internal/trace"
 	"eccspec/internal/workload"
 )
@@ -41,6 +42,10 @@ type OptionsState struct {
 	HighVoltagePoint bool   `json:"high_voltage_point,omitempty"`
 	FullGeometry     bool   `json:"full_geometry,omitempty"`
 	Workload         string `json:"workload"`
+	// Policy names the speculation policy that was driving the control
+	// system. Empty (pre-policy blobs and the default) means the paper
+	// ladder, so historical snapshots restore unchanged.
+	Policy string `json:"policy,omitempty"`
 }
 
 // TraceState carries a telemetry recorder's accumulated rows, so a
@@ -110,6 +115,11 @@ func Capture(sim *eccspec.Simulator) (*State, error) {
 		return nil, err
 	}
 	o := sim.Opts()
+	polName := o.Policy
+	if polName == policy.Default {
+		// Default-policy blobs keep their pre-registry shape.
+		polName = ""
+	}
 	return &State{
 		Version: Version,
 		Options: OptionsState{
@@ -117,6 +127,7 @@ func Capture(sim *eccspec.Simulator) (*State, error) {
 			HighVoltagePoint: o.HighVoltagePoint,
 			FullGeometry:     o.FullGeometry,
 			Workload:         o.Workload,
+			Policy:           polName,
 		},
 		Ticks:   sim.Ticks(),
 		Chip:    sim.Chip().CaptureState(),
@@ -140,11 +151,15 @@ func Restore(st *State) (*eccspec.Simulator, error) {
 	if _, ok := workload.ByName(st.Options.Workload); !ok {
 		return nil, fmt.Errorf("snapshot: unknown workload %q", st.Options.Workload)
 	}
+	if _, ok := policy.Get(policy.Resolve(st.Options.Policy)); !ok {
+		return nil, fmt.Errorf("snapshot: unknown policy %q", st.Options.Policy)
+	}
 	sim, err := eccspec.NewSimulator(eccspec.Options{
 		Seed:             st.Options.Seed,
 		HighVoltagePoint: st.Options.HighVoltagePoint,
 		FullGeometry:     st.Options.FullGeometry,
 		Workload:         st.Options.Workload,
+		Policy:           st.Options.Policy,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
