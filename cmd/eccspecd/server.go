@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eccspec"
 	"eccspec/internal/cluster"
 	"eccspec/internal/engine"
 	"eccspec/internal/faultinject"
@@ -60,6 +61,7 @@ type fleetRequest struct {
 	BaseSeed         uint64   `json:"base_seed,omitempty"`
 	Workload         string   `json:"workload,omitempty"`
 	Policy           string   `json:"policy,omitempty"`
+	Fidelity         string   `json:"fidelity,omitempty"`
 	Seconds          float64  `json:"seconds"`
 	HighVoltagePoint bool     `json:"high_voltage_point,omitempty"`
 	FullGeometry     bool     `json:"full_geometry,omitempty"`
@@ -82,6 +84,7 @@ func (r fleetRequest) job() (fleet.Job, error) {
 		Seeds:            seeds,
 		Workload:         r.Workload,
 		Policy:           r.Policy,
+		Fidelity:         r.Fidelity,
 		Seconds:          r.Seconds,
 		HighVoltagePoint: r.HighVoltagePoint,
 		FullGeometry:     r.FullGeometry,
@@ -534,6 +537,8 @@ func (s *server) runJob(j *fleetJob) {
 		if r.Err != nil {
 			s.metrics.chipsFailed.Add(1)
 		}
+		s.metrics.fidelityFFTicks.Add(r.FastForwardTicks)
+		s.metrics.fidelityDropbacks.Add(r.FidelityDropbacks)
 	}
 
 	// Merge stored and fresh results back into submission seed order so
@@ -677,6 +682,7 @@ type jobStatus struct {
 	Status     string  `json:"status"`
 	Workload   string  `json:"workload,omitempty"`
 	Policy     string  `json:"policy,omitempty"`
+	Fidelity   string  `json:"fidelity,omitempty"`
 	Seconds    float64 `json:"seconds"`
 	ChipsTotal int     `json:"chips_total"`
 	ChipsDone  int     `json:"chips_done"`
@@ -692,6 +698,7 @@ func (s *server) statusLocked(j *fleetJob) jobStatus {
 		Status:     j.Status,
 		Workload:   j.Job.Workload,
 		Policy:     j.Job.Policy,
+		Fidelity:   j.Job.Fidelity,
 		Seconds:    j.Job.Seconds,
 		ChipsTotal: len(j.Job.Seeds),
 		ChipsDone:  j.ChipsDone,
@@ -943,6 +950,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"persistent": s.cfg.store != nil,
 		"degraded":   degraded,
 		"policies":   policy.Names(),
+		"fidelities": []string{eccspec.FidelityFull, eccspec.FidelityAdaptive},
 	}
 	if degraded {
 		resp["degraded_reason"] = reason

@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"eccspec/internal/cache"
+	"eccspec/internal/kernel"
 	"eccspec/internal/mca"
 	"eccspec/internal/pdn"
 	"eccspec/internal/power"
@@ -196,6 +197,7 @@ type Core struct {
 	lastAct   float64
 
 	sens map[variation.Kind][]SensLine
+	kern map[variation.Kind]*kernel.Table
 }
 
 // Domain is one voltage domain: a supply rail shared by a set of cores.
@@ -267,6 +269,19 @@ type Chip struct {
 	uncoreEff   float64
 	lastUncoreW float64
 
+	// Adaptive-fidelity state. With adaptiveFid enabled (off by
+	// default) the control system calls EnterFastForward once the loop
+	// has been stable long enough; fast-forwarded ticks draw one
+	// aggregate Poisson sample per (core, bank) from the kernel's
+	// summed line rates instead of walking lines. Any control-loop
+	// event — step decision, emergency, fail-safe, injected fault,
+	// failed self-test, rail-target change — drops straight back to
+	// full fidelity.
+	adaptiveFid bool
+	fastForward bool
+	ffTicks     int64
+	dropbacks   int64
+
 	// Per-tick scratch reused across Steps so the steady-state loop
 	// allocates nothing.
 	repCores []CoreReport
@@ -299,6 +314,7 @@ func New(p Params) *Chip {
 			tempC:     p.AmbientC,
 			lastEff:   p.Point.NominalVdd,
 			sens:      make(map[variation.Kind][]SensLine),
+			kern:      make(map[variation.Kind]*kernel.Table),
 		}
 		core.RegFile.SetTemperature(p.AmbientC)
 		core.Hier.L2D.Array().SetTemperature(p.AmbientC)
@@ -316,8 +332,55 @@ func New(p Params) *Chip {
 		dom.lastEff = dom.Rail.Target()
 		c.Domains = append(c.Domains, dom)
 	}
+	// Any rail movement — controller step, experiment sweep, injected
+	// disturbance — invalidates the premise of fast-forwarding.
+	for _, dom := range c.Domains {
+		dom.Rail.OnChange(c.DropFastForward)
+	}
+	c.UncoreRail.OnChange(c.DropFastForward)
 	return c
 }
+
+// Adaptive-fidelity accessors ------------------------------------------
+
+// SetAdaptiveFidelity enables (or disables) adaptive fidelity. Disabling
+// also leaves fast-forward immediately.
+func (c *Chip) SetAdaptiveFidelity(on bool) {
+	c.adaptiveFid = on
+	if !on {
+		c.fastForward = false
+	}
+}
+
+// AdaptiveFidelity reports whether adaptive fidelity is enabled.
+func (c *Chip) AdaptiveFidelity() bool { return c.adaptiveFid }
+
+// EnterFastForward switches event sampling to the aggregate kernel.
+// A no-op unless adaptive fidelity is enabled.
+func (c *Chip) EnterFastForward() {
+	if c.adaptiveFid {
+		c.fastForward = true
+	}
+}
+
+// DropFastForward returns to exact per-line sampling (no-op when not
+// fast-forwarding). Counted so telemetry can report drop-back churn.
+func (c *Chip) DropFastForward() {
+	if c.fastForward {
+		c.fastForward = false
+		c.dropbacks++
+	}
+}
+
+// FastForward reports whether the chip is currently fast-forwarding.
+func (c *Chip) FastForward() bool { return c.fastForward }
+
+// FastForwardTicks returns how many ticks ran on the aggregate kernel.
+func (c *Chip) FastForwardTicks() int64 { return c.ffTicks }
+
+// FidelityDropbacks returns how many times fast-forward was abandoned
+// for a control-loop event.
+func (c *Chip) FidelityDropbacks() int64 { return c.dropbacks }
 
 // Time returns the accumulated simulated time in seconds.
 //
@@ -430,10 +493,28 @@ func (co *Core) SensitiveLines(kind variation.Kind, floor float64) []SensLine {
 	return out
 }
 
-// InvalidateSensitivity drops cached sensitive-line lists (call after
-// aging changes).
+// InvalidateSensitivity drops cached sensitive-line lists and their
+// batch-kernel tables (call after aging changes).
 func (co *Core) InvalidateSensitivity() {
 	co.sens = make(map[variation.Kind][]SensLine)
+	co.kern = make(map[variation.Kind]*kernel.Table)
+}
+
+// kernelTable returns the core's batch-kernel table for the structure,
+// building it from the sensitive-line list on first use. Cached beside
+// the sensitive-line cache and invalidated with it.
+func (co *Core) kernelTable(kind variation.Kind, floor float64) *kernel.Table {
+	if t, ok := co.kern[kind]; ok {
+		return t
+	}
+	sens := co.SensitiveLines(kind, floor)
+	lines := make([]kernel.Line, len(sens))
+	for i, sl := range sens {
+		lines[i] = kernel.Line{Set: sl.Set, Way: sl.Way, Profile: sl.Profile}
+	}
+	t := kernel.Build(co.arrayOf(kind), kind, lines)
+	co.kern[kind] = t
+	return t
 }
 
 // arrayOf maps a structure kind to the core's SRAM array.
@@ -485,6 +566,9 @@ func (c *Chip) SensitivityFloor() float64 {
 // copy it.
 func (c *Chip) Step() TickReport {
 	dt := c.P.TickSeconds
+	if c.fastForward {
+		c.ffTicks++
+	}
 	if c.repCores == nil {
 		c.repCores = make([]CoreReport, len(c.Cores))
 		c.demands = make([]workload.Demand, len(c.Cores))
@@ -631,37 +715,25 @@ func (c *Chip) sampleWorkloadErrors(co *Core, kind variation.Kind, accesses floa
 		return 0, 0, false
 	}
 	perLine := accesses / footprint
-	floor := c.SensitivityFloor()
-	// Lines whose weakest cell sits more than ~8 ramp widths above the
-	// current voltage cannot flip; the list is sorted by onset voltage,
-	// so stop at the first such line.
-	cutoff := v - 8*c.P.Point.WidthMax
-	for _, sl := range co.SensitiveLines(kind, floor) {
-		if sl.Profile.Vmax() < cutoff {
-			break
-		}
-		if !co.wl.Exercises(kind, sl.Set, sl.Way) {
-			continue
-		}
-		ps, pu := arr.ErrorProbabilities(sl.Set, sl.Way, v)
-		if ps > 0 {
-			n := stats.SamplePoisson(c.stream, perLine*ps)
-			corrected += n
-			trueMean += perLine * ps
-			if n > 0 {
-				c.MCA.Report(mca.Event{Time: c.time, Core: co.ID,
-					Bank: kind.String(), Set: sl.Set, Way: sl.Way, Count: n})
-			}
-		}
-		// Uncorrectable errors machine-check the core regardless of
-		// report throttling, but codeword interleaving and scrubbing
-		// make double-bit alignments far rarer than raw pair
-		// probability suggests; the FatalRateFactor folds both effects.
-		if pu > 0 && stats.SamplePoisson(c.stream, perLine*c.P.FatalRateFactor*pu) > 0 {
-			fatal = true
-		}
+	t := co.kernelTable(kind, c.SensitivityFloor())
+	t.EnsureFootprint(co.wl)
+	if c.fastForward {
+		return c.fastForwardSample(co, t, kind.String(), perLine, v, true)
 	}
-	return corrected, trueMean, fatal
+	// Lines whose weakest cell sits more than ~8 ramp widths above the
+	// current voltage cannot flip; the table is sorted by onset voltage,
+	// so the kernel stops at the first line too strong to matter.
+	// Uncorrectable errors machine-check the core regardless of report
+	// throttling, but codeword interleaving and scrubbing make
+	// double-bit alignments far rarer than raw pair probability
+	// suggests; the FatalRateFactor folds both effects.
+	cutoff := v - 8*c.P.Point.WidthMax
+	n, tm, fat, counts := t.Sample(c.stream, v, cutoff, perLine, perLine*c.P.FatalRateFactor)
+	for _, lc := range counts {
+		c.MCA.Report(mca.Event{Time: c.time, Core: co.ID,
+			Bank: kind.String(), Set: lc.Set, Way: lc.Way, Count: lc.N})
+	}
+	return n, tm, fat
 }
 
 // sampleRegFileErrors does the same for the register file, which the
@@ -670,23 +742,39 @@ func (c *Chip) sampleRegFileErrors(co *Core, perLine float64, v float64) (correc
 	if perLine <= 0 {
 		return 0, false
 	}
-	floor := c.SensitivityFloor()
-	for _, sl := range co.SensitiveLines(variation.KindRegFile, floor) {
-		ps := co.RegFile.SingleErrorProbability(sl.Set, sl.Way, v)
-		if ps > 0 {
-			n := stats.SamplePoisson(c.stream, perLine*ps)
-			corrected += n
-			if n > 0 {
-				c.MCA.Report(mca.Event{Time: c.time, Core: co.ID,
-					Bank: "RegFile", Set: sl.Set, Way: sl.Way, Count: n})
-			}
-		}
-		pu := co.RegFile.UncorrectableProbability(sl.Set, sl.Way, v)
-		if pu > 0 && stats.SamplePoisson(c.stream, perLine*c.P.FatalRateFactor*pu) > 0 {
-			fatal = true
+	t := co.kernelTable(variation.KindRegFile, c.SensitivityFloor())
+	if c.fastForward {
+		n, _, fat := c.fastForwardSample(co, t, "RegFile", perLine, v, false)
+		return n, fat
+	}
+	n, _, fat, counts := t.SampleAll(c.stream, v, math.Inf(-1), perLine, perLine*c.P.FatalRateFactor)
+	for _, lc := range counts {
+		c.MCA.Report(mca.Event{Time: c.time, Core: co.ID,
+			Bank: "RegFile", Set: lc.Set, Way: lc.Way, Count: lc.N})
+	}
+	return n, fat
+}
+
+// fastForwardSample advances one (core, bank) through a fast-forwarded
+// tick: one aggregate Poisson draw for corrected events and one for
+// uncorrectable exposure, from the kernel's summed line rates at the
+// quantized operating point. Corrected events are attributed to the
+// bank's most sensitive live line for MCA logging.
+func (c *Chip) fastForwardSample(co *Core, t *kernel.Table, bank string, perLine, v float64, footprint bool) (corrected int, trueMean float64, fatal bool) {
+	ps, pu, repSet, repWay := t.Rates(v, footprint)
+	if ps > 0 {
+		mean := perLine * ps
+		corrected = stats.SamplePoissonFast(c.stream, mean)
+		trueMean = mean
+		if corrected > 0 {
+			c.MCA.Report(mca.Event{Time: c.time, Core: co.ID,
+				Bank: bank, Set: repSet, Way: repWay, Count: corrected})
 		}
 	}
-	return corrected, fatal
+	if pu > 0 && stats.SamplePoissonFast(c.stream, perLine*c.P.FatalRateFactor*pu) > 0 {
+		fatal = true
+	}
+	return corrected, trueMean, fatal
 }
 
 // logicFaultRate returns the expected per-second rate of detectable

@@ -10,6 +10,7 @@ package engine_test
 import (
 	"context"
 	"encoding/json"
+	"flag"
 	"os"
 	"testing"
 	"time"
@@ -17,12 +18,38 @@ import (
 	"eccspec/internal/fleet"
 )
 
+// regressionFactor is the ns/tick slack the gate allows over the
+// committed snapshot before failing: generous enough to absorb the
+// ±10% run-to-run noise of shared CI machines, tight enough that a
+// real hot-path regression (the kind the batch kernels exist to
+// prevent) cannot land silently.
+const regressionFactor = 1.25
+
 func TestBenchSnapshot(t *testing.T) {
 	out := os.Getenv("ECCSPEC_BENCH_TICKS_OUT")
 	if out == "" {
 		t.Skip("set ECCSPEC_BENCH_TICKS_OUT to write a benchmark snapshot")
 	}
 
+	// The committed snapshot at the destination path, if any, is the
+	// regression baseline.
+	var baseline float64
+	if prev, err := os.ReadFile(out); err == nil {
+		var old struct {
+			NsPerTick float64 `json:"ns_per_tick"`
+		}
+		if err := json.Unmarshal(prev, &old); err == nil {
+			baseline = old.NsPerTick
+		}
+	}
+
+	// The default 1s benchtime leaves only a few thousand ticks per
+	// round, which over-weights the post-convergence transient and
+	// scheduler noise; 3s keeps snapshot-to-snapshot jitter well inside
+	// the regression slack.
+	if err := flag.Set("test.benchtime", "3s"); err != nil {
+		t.Fatal(err)
+	}
 	tick := testing.Benchmark(BenchmarkEngineTick)
 	nsPerTick := float64(tick.NsPerOp())
 
@@ -62,4 +89,9 @@ func TestBenchSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", out)
+
+	if baseline > 0 && nsPerTick > baseline*regressionFactor {
+		t.Errorf("tick latency regressed: %.0f ns/tick vs committed %.0f (limit %.0f)",
+			nsPerTick, baseline, baseline*regressionFactor)
+	}
 }

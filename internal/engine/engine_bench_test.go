@@ -40,31 +40,79 @@ func BenchmarkEngineTick(b *testing.B) {
 	}
 }
 
-func TestEngineTickDoesNotAllocate(t *testing.T) {
+// BenchmarkChipStep isolates the chip's per-tick sampling path — the
+// batch-kernel walk over every core's arrays plus the monitor probes —
+// from the controller and observer overhead BenchmarkEngineTick adds on
+// top, so kernel-level optimizations can be measured directly.
+func BenchmarkChipStep(b *testing.B) {
 	sim, err := eccspec.NewSimulator(eccspec.Options{Seed: 42, Workload: "jbb-8wh"})
 	if err != nil {
-		t.Fatal(err)
+		b.Fatal(err)
 	}
 	if err := sim.Calibrate(); err != nil {
-		t.Fatal(err)
+		b.Fatal(err)
 	}
 	sim.Run(0.2)
-	// Build the run configuration once: RunEngine's variadic observer
-	// slice is a per-run setup cost, amortized to zero in the benchmark;
-	// the per-tick path below must be allocation-free outright.
-	ctx := context.Background()
-	cfg := engine.Config{Observers: []engine.Observer{
-		engine.Funcs{Tick: func(engine.View) error { return nil }},
-	}}
-	avg := testing.AllocsPerRun(200, func() {
-		cfg.Start = sim.Ticks()
-		cfg.Until = cfg.Start + 1
-		if _, err := engine.Run(ctx, sim, cfg); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if avg != 0 {
-		t.Fatalf("steady-state tick allocates %.2f times per run, want 0", avg)
+	c := sim.Chip()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+func TestEngineTickDoesNotAllocate(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		fidelity string
+	}{
+		{"full", eccspec.FidelityFull},
+		{"adaptive", eccspec.FidelityAdaptive},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sim, err := eccspec.NewSimulator(eccspec.Options{Seed: 42, Workload: "jbb-8wh", Fidelity: tc.fidelity})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.Calibrate(); err != nil {
+				t.Fatal(err)
+			}
+			sim.Run(0.2)
+			ctx := context.Background()
+			if tc.fidelity == eccspec.FidelityAdaptive {
+				// Advance until the chip has actually entered fast-forward
+				// so the aggregate-rate tick path is what gets measured
+				// (alongside full ticks on either side of drop-backs).
+				c := sim.Chip()
+				if _, err := sim.RunEngine(ctx, 20000,
+					engine.StopWhen(func(engine.View) bool { return c.FastForward() })); err != nil {
+					t.Fatal(err)
+				}
+				if !c.FastForward() {
+					t.Fatal("chip never entered fast-forward in 20000 ticks")
+				}
+			}
+			// Build the run configuration once: RunEngine's variadic observer
+			// slice is a per-run setup cost, amortized to zero in the benchmark;
+			// the per-tick path below must be allocation-free outright.
+			cfg := engine.Config{Observers: []engine.Observer{
+				engine.Funcs{Tick: func(engine.View) error { return nil }},
+			}}
+			ffBefore := sim.Chip().FastForwardTicks()
+			avg := testing.AllocsPerRun(200, func() {
+				cfg.Start = sim.Ticks()
+				cfg.Until = cfg.Start + 1
+				if _, err := engine.Run(ctx, sim, cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state tick allocates %.2f times per run, want 0", avg)
+			}
+			if tc.fidelity == eccspec.FidelityAdaptive && sim.Chip().FastForwardTicks() == ffBefore {
+				t.Fatal("no fast-forward tick executed inside the measured window")
+			}
+		})
 	}
 }
 

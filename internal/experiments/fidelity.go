@@ -1,0 +1,158 @@
+package experiments
+
+// Adaptive-fidelity validation: every workload in the table runs twice
+// on the same chip specimen — once at full per-event fidelity and once
+// with adaptive fast-forward enabled — and the harness reports how far
+// the cheap path drifts. Adaptive mode replaces per-line error sampling
+// with one aggregate Poisson draw per (core, bank) while the control
+// loop holds steady, so its trajectory is NOT byte-identical to full
+// fidelity; the claim this table defends is statistical: mean Vdd
+// within 1% and DUE counts within sampling noise, at a large tick-rate
+// speedup.
+//
+// Chips and control systems are built directly (like the policy race)
+// because this package is imported by the public Simulator.
+
+import (
+	"fmt"
+	"time"
+
+	"eccspec/internal/chip"
+	"eccspec/internal/control"
+	"eccspec/internal/engine"
+	"eccspec/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fidelity",
+		Title: "(extension) Adaptive fast-forward fidelity vs full event sampling",
+		Paper: "Extension",
+		Run:   runFidelity,
+	})
+}
+
+// fidelityWorkloads is the validation set: cache-hostile and
+// cache-friendly SPEC benchmarks, the server load, and two firmware
+// kernels with very different footprints.
+var fidelityWorkloads = []string{
+	"mcf", "gcc", "equake", "swim", "jbb-8wh", "crc", "stress-kernel",
+}
+
+// fidelityCell is one (workload, fidelity) run's outcome.
+type fidelityCell struct {
+	avgVddV     float64
+	due         uint64
+	emergencies int
+	ffTicks     int64 // ticks simulated in fast-forward (adaptive only)
+	dropbacks   int64
+	ticks       int
+	elapsed     time.Duration
+}
+
+// runFidelityCell measures one workload at one fidelity: build,
+// calibrate, converge, then measure with fresh DUE accounting. The
+// wall-clock measure-window duration feeds the speedup column.
+func runFidelityCell(seed uint64, full, adaptive bool, wlName string, converge, measure int) (fidelityCell, error) {
+	var out fidelityCell
+	wl, _ := workload.ByName(wlName)
+	c := chip.New(chip.DefaultParams(seed, true, full))
+	if adaptive {
+		c.SetAdaptiveFidelity(true)
+	}
+	for _, co := range c.Cores {
+		co.SetWorkload(wl, seed)
+	}
+	ctl := control.New(c, control.DefaultConfig())
+	if _, err := ctl.Calibrate(); err != nil {
+		return out, fmt.Errorf("calibrate: %w", err)
+	}
+	engine.Ticks(c, ctl, converge, nil)
+	for _, co := range c.Cores {
+		co.ResetAccounting()
+	}
+	dueBase := sumUncorrectable(c)
+	ffBase := c.FastForwardTicks()
+	dropBase := c.FidelityDropbacks()
+
+	sumV := 0.0
+	start := time.Now()
+	ran := engine.Ticks(c, ctl, measure, func(_ int, _ chip.TickReport, _ []control.Action) bool {
+		for _, d := range c.Domains {
+			sumV += d.Rail.Target()
+		}
+		return true
+	})
+	out.elapsed = time.Since(start)
+	out.ticks = ran
+	out.avgVddV = sumV / float64(ran*len(c.Domains))
+	out.due = sumUncorrectable(c) - dueBase
+	out.emergencies = ctl.Emergencies()
+	out.ffTicks = c.FastForwardTicks() - ffBase
+	out.dropbacks = c.FidelityDropbacks() - dropBase
+	for i, co := range c.Cores {
+		if !co.Alive() {
+			return out, fmt.Errorf("core %d died under %s", i, wlName)
+		}
+	}
+	return out, nil
+}
+
+// runFidelity runs the full-vs-adaptive pair on every workload in the
+// validation set and tabulates the deltas.
+func runFidelity(o Options) (*Result, error) {
+	converge := o.scale(1800, 250)
+	measure := o.scale(1800, 250)
+
+	tbl := NewTextTable("workload", "full Vdd", "adaptive Vdd", "dVdd",
+		"DUE f/a", "emerg f/a", "ff ticks", "dropbacks", "speedup")
+	metrics := map[string]float64{}
+	worstDelta := 0.0
+	sumSpeedup := 0.0
+	for _, wlName := range fidelityWorkloads {
+		fc, err := runFidelityCell(o.Seed, o.Full, false, wlName, converge, measure)
+		if err != nil {
+			return nil, fmt.Errorf("%s full: %w", wlName, err)
+		}
+		ac, err := runFidelityCell(o.Seed, o.Full, true, wlName, converge, measure)
+		if err != nil {
+			return nil, fmt.Errorf("%s adaptive: %w", wlName, err)
+		}
+		deltaPct := 100 * (ac.avgVddV - fc.avgVddV) / fc.avgVddV
+		if d := deltaPct; d < 0 {
+			d = -d
+			if d > worstDelta {
+				worstDelta = d
+			}
+		} else if d > worstDelta {
+			worstDelta = d
+		}
+		ffFrac := float64(ac.ffTicks) / float64(ac.ticks)
+		speedup := fc.elapsed.Seconds() / ac.elapsed.Seconds()
+		sumSpeedup += speedup
+		tbl.AddRow(wlName,
+			fmt.Sprintf("%.4f V", fc.avgVddV),
+			fmt.Sprintf("%.4f V", ac.avgVddV),
+			fmt.Sprintf("%+.3f%%", deltaPct),
+			fmt.Sprintf("%d/%d", fc.due, ac.due),
+			fmt.Sprintf("%d/%d", fc.emergencies, ac.emergencies),
+			fmt.Sprintf("%d (%.0f%%)", ac.ffTicks, 100*ffFrac),
+			fmt.Sprintf("%d", ac.dropbacks),
+			fmt.Sprintf("%.1fx", speedup))
+		metrics["vdd_delta_pct_"+wlName] = deltaPct
+		metrics["due_full_"+wlName] = float64(fc.due)
+		metrics["due_adaptive_"+wlName] = float64(ac.due)
+		metrics["ff_frac_"+wlName] = ffFrac
+		metrics["speedup_"+wlName] = speedup
+	}
+	metrics["worst_vdd_delta_pct"] = worstDelta
+	metrics["mean_speedup"] = sumSpeedup / float64(len(fidelityWorkloads))
+	return &Result{
+		ID: "fidelity", Title: "Adaptive-fidelity validation",
+		Headline: fmt.Sprintf(
+			"adaptive fast-forward tracks full fidelity within %.2f%% mean Vdd at a %.1fx measure-window speedup",
+			worstDelta, metrics["mean_speedup"]),
+		Table:   tbl,
+		Metrics: metrics,
+	}, nil
+}

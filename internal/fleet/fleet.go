@@ -49,6 +49,11 @@ type Job struct {
 	// system (empty selects the paper's floor/ceiling ladder). The field
 	// serializes with the job, so cluster workers run the same policy.
 	Policy string `json:"policy,omitempty"`
+	// Fidelity selects every chip's event-sampling fidelity ("full" or
+	// empty for exact per-line sampling, "adaptive" for stability-gated
+	// fast-forward). Serializes with the job, so cluster workers run at
+	// the same fidelity.
+	Fidelity string `json:"fidelity,omitempty"`
 	// Seconds is the simulated duration of the closed-loop speculation
 	// run after calibration.
 	Seconds float64 `json:"seconds"`
@@ -135,7 +140,22 @@ func (j Job) Validate() error {
 				j.Policy, strings.Join(policy.Names(), ", "))
 		}
 	}
+	switch j.Fidelity {
+	case "", eccspec.FidelityFull, eccspec.FidelityAdaptive:
+	default:
+		return fmt.Errorf("fleet: unknown fidelity %q (valid: %s, %s)",
+			j.Fidelity, eccspec.FidelityFull, eccspec.FidelityAdaptive)
+	}
 	return nil
+}
+
+// resolveFidelity maps a job fidelity spec onto its canonical Options
+// form (full fidelity is recorded as the empty string).
+func resolveFidelity(f string) string {
+	if f == eccspec.FidelityFull {
+		return ""
+	}
+	return f
 }
 
 // ChipResult is the outcome of one chip's simulation. Exactly one of
@@ -169,6 +189,11 @@ type ChipResult struct {
 	// nominal after a monitor fault (sorted; nil in healthy runs). Like
 	// Emergencies, live telemetry only.
 	FailSafe []int
+	// FastForwardTicks and FidelityDropbacks report adaptive-fidelity
+	// activity: ticks advanced on the aggregate kernel and the number of
+	// drop-backs to full fidelity. Zero for full-fidelity jobs.
+	FastForwardTicks  int64
+	FidelityDropbacks int64
 	// Trace holds per-tick telemetry when the job requested it.
 	Trace *trace.Recorder
 }
@@ -319,6 +344,10 @@ func simulateChip(ctx context.Context, job Job, seed uint64) (res ChipResult) {
 			res.Err = fmt.Errorf("resume: checkpoint ran policy %q, job wants %q", got, want)
 			return res
 		}
+		if got, want := restored.Opts().Fidelity, resolveFidelity(job.Fidelity); got != want {
+			res.Err = fmt.Errorf("resume: checkpoint ran fidelity %q, job wants %q", got, want)
+			return res
+		}
 		sim = restored
 		start = st.Ticks
 		if job.TraceEvery > 0 {
@@ -338,6 +367,7 @@ func simulateChip(ctx context.Context, job Job, seed uint64) (res ChipResult) {
 			Seed:             seed,
 			Workload:         job.Workload,
 			Policy:           job.Policy,
+			Fidelity:         job.Fidelity,
 			HighVoltagePoint: job.HighVoltagePoint,
 			FullGeometry:     job.FullGeometry,
 		})
@@ -392,6 +422,8 @@ func simulateChip(ctx context.Context, job Job, seed uint64) (res ChipResult) {
 	res.Ticks = rep.Tick
 	res.Emergencies = sim.Control().Emergencies()
 	res.FailSafe = sim.Control().FailSafeDomains()
+	res.FastForwardTicks = sim.Chip().FastForwardTicks()
+	res.FidelityDropbacks = sim.Chip().FidelityDropbacks()
 	if err != nil {
 		res.Err = err
 		return res

@@ -1,0 +1,417 @@
+// Package kernel holds the struct-of-arrays batch kernels behind the
+// chip's per-tick hot path.
+//
+// The scalar tick loop walked every sensitive line of every array each
+// tick and paid an erf evaluation per profiled cell, even though at
+// operating voltages all but a handful of lines have flip probabilities
+// that are zero to double precision. A Table flattens one array's
+// sensitive-line profiles into sorted columns (line onset voltages,
+// per-bit critical voltages/widths/word indices) plus precomputed
+// conservative "certainly clean" thresholds, so a whole array's tick
+// can be sampled with one comparison per line and exact probability
+// math only for the few lines that can actually flip.
+//
+// Two kernels operate on a Table:
+//
+//   - Sample is the exact kernel: it reproduces the scalar loop's
+//     floating-point operations and stream draws bit for bit, so
+//     full-fidelity simulation stays byte-identical to the pre-kernel
+//     implementation.
+//   - Rates is the aggregate kernel for adaptive-fidelity fast-forward:
+//     it sums the per-line event probabilities at a quantized
+//     (voltage, temperature) point and memoizes the sums, so a stable
+//     domain advances with one Poisson draw per (core, bank) instead
+//     of a per-line walk. The quantized operating point is part of the
+//     memo key, which is also the invalidation rule: any rail-target,
+//     droop, or temperature change that moves the quantized point
+//     recomputes, and recomputation always evaluates at the quantized
+//     point itself so a cold cache (e.g. after checkpoint restore)
+//     returns the same values a warm one would.
+package kernel
+
+import (
+	"math"
+	"sort"
+
+	"eccspec/internal/rng"
+	"eccspec/internal/sram"
+	"eccspec/internal/stats"
+	"eccspec/internal/variation"
+	"eccspec/internal/workload"
+)
+
+// safetyMarginV widens the conservative per-bit "certainly clean"
+// threshold so float rounding in the one-comparison guard can never
+// disagree with the exact (vcrit-v)/width < -8 test inside
+// variation.FlipProbability: the guard may only ever skip cells whose
+// exact flip probability is zero.
+const safetyMarginV = 1e-9
+
+// Line is one sensitive line handed to Build, in the same descending-
+// onset-voltage order the chip's sensitive-line lists use.
+type Line struct {
+	Set, Way int
+	Profile  *sram.Profile
+}
+
+// LineCount reports one line's sampled corrected-event count. The
+// slice returned by Sample is scratch owned by the Table and is
+// overwritten by the next Sample.
+type LineCount struct {
+	Set, Way int
+	N        int
+}
+
+// rateEntry is one memoized aggregate evaluation; see Rates.
+type rateEntry struct {
+	ok     bool
+	fp     bool
+	wl     *workload.Workload
+	vq, tq float64
+	ps, pu float64
+	repSet int32
+	repWay int32
+}
+
+// rateEntries sizes the aggregate memo: enough buckets to cover the
+// tick-to-tick droop jitter around a setpoint at both of the adjacent
+// quantized temperatures without thrashing.
+const rateEntries = 32
+
+// Table is the struct-of-arrays view of one array's sensitive lines.
+// It is built once per (array, age epoch) and shared by both kernels.
+type Table struct {
+	arr  *sram.Array
+	kind variation.Kind
+
+	// Per-line columns, ordered by descending onset voltage (the
+	// chip's sensitive-line order).
+	set   []int32
+	way   []int32
+	vmax  []float64 // Profile.Vmax per line
+	vsafe []float64 // max over the line's cells of vcrit + 8*width + margin
+	start []int32   // bit-column range per line; len(start) == lines+1
+
+	// Per-bit columns, flattened in per-line profile order (descending
+	// Vcrit within each line).
+	vcrit []float64
+	width []float64
+	word  []int8
+	// safeOrd/safeV hold each line's bit indices re-sorted by descending
+	// "certainly clean" threshold (vcrit + 8*width + margin). At any
+	// operating voltage the cells that can flip are exactly a prefix of
+	// this order, so the per-bit threshold test becomes a prefix scan
+	// with an early break instead of a walk over the whole profile.
+	safeOrd []int32
+	safeV   []float64
+	cand    []int32 // lineProbabilities scratch: live bits of one line
+
+	// exercised caches the workload footprint mask; wl identifies the
+	// workload instance it was built for. fpIdx is the mask compacted
+	// into line indices (vmax order preserved) so the sampling loop
+	// never visits unexercised lines; allIdx is the identity order used
+	// when the mask is off.
+	wl        *workload.Workload
+	exercised []bool
+	fpIdx     []int32
+	allIdx    []int32
+
+	counts []LineCount // Sample scratch
+
+	rates     [rateEntries]rateEntry
+	rateClock int
+}
+
+// Build flattens the given sensitive lines (descending onset voltage)
+// into a Table over the array.
+func Build(arr *sram.Array, kind variation.Kind, lines []Line) *Table {
+	t := &Table{
+		arr:   arr,
+		kind:  kind,
+		set:   make([]int32, 0, len(lines)),
+		way:   make([]int32, 0, len(lines)),
+		vmax:  make([]float64, 0, len(lines)),
+		vsafe: make([]float64, 0, len(lines)),
+		start: make([]int32, 1, len(lines)+1),
+	}
+	maxBits := 0
+	var bitSafe []float64
+	for _, ln := range lines {
+		t.set = append(t.set, int32(ln.Set))
+		t.way = append(t.way, int32(ln.Way))
+		t.vmax = append(t.vmax, ln.Profile.Vmax())
+		lineSafe := 0.0
+		for _, b := range ln.Profile.Bits {
+			safe := b.Vcrit + 8*b.Width + safetyMarginV
+			t.vcrit = append(t.vcrit, b.Vcrit)
+			t.width = append(t.width, b.Width)
+			t.word = append(t.word, int8(b.Word()))
+			bitSafe = append(bitSafe, safe)
+			if safe > lineSafe {
+				lineSafe = safe
+			}
+		}
+		t.vsafe = append(t.vsafe, lineSafe)
+		t.start = append(t.start, int32(len(t.vcrit)))
+		if n := len(ln.Profile.Bits); n > maxBits {
+			maxBits = n
+		}
+	}
+	t.safeOrd = make([]int32, len(bitSafe))
+	t.safeV = make([]float64, len(bitSafe))
+	t.cand = make([]int32, 0, maxBits)
+	t.allIdx = make([]int32, len(lines))
+	for i := range t.allIdx {
+		t.allIdx[i] = int32(i)
+	}
+	for i := range lines {
+		lo, hi := int(t.start[i]), int(t.start[i+1])
+		for j := lo; j < hi; j++ {
+			t.safeOrd[j] = int32(j)
+		}
+		ord := t.safeOrd[lo:hi]
+		sort.Sort(&bySafeDesc{ord: ord, safe: bitSafe})
+		for k, j := range ord {
+			t.safeV[lo+k] = bitSafe[j]
+		}
+	}
+	return t
+}
+
+// bySafeDesc orders a line's bit indices by descending clean threshold.
+type bySafeDesc struct {
+	ord  []int32
+	safe []float64
+}
+
+func (s *bySafeDesc) Len() int           { return len(s.ord) }
+func (s *bySafeDesc) Less(i, j int) bool { return s.safe[s.ord[i]] > s.safe[s.ord[j]] }
+func (s *bySafeDesc) Swap(i, j int)      { s.ord[i], s.ord[j] = s.ord[j], s.ord[i] }
+
+// Lines returns the number of sensitive lines in the table.
+func (t *Table) Lines() int { return len(t.vmax) }
+
+// EnsureFootprint (re)builds the cached workload-exercise mask. The
+// mask is pure in (workload seed, kind, set, way), so it is keyed by
+// workload instance and rebuilt only when the core's workload changes.
+func (t *Table) EnsureFootprint(wl *workload.Workload) {
+	if t.wl == wl {
+		return
+	}
+	t.wl = wl
+	if cap(t.exercised) < len(t.set) {
+		t.exercised = make([]bool, len(t.set))
+	}
+	t.exercised = t.exercised[:len(t.set)]
+	t.fpIdx = t.fpIdx[:0]
+	for i := range t.exercised {
+		t.exercised[i] = wl.Exercises(t.kind, int(t.set[i]), int(t.way[i]))
+		if t.exercised[i] {
+			t.fpIdx = append(t.fpIdx, int32(i))
+		}
+	}
+	// The footprint is part of the aggregate's identity.
+	for i := range t.rates {
+		t.rates[i].ok = false
+	}
+}
+
+// Sample is the exact batch kernel: one tick's worth of accesses over
+// the table's lines at raw voltage v, drawing event counts from stream.
+// perLine is the per-line access count, fatalPerLine the per-line
+// exposure for uncorrectable sampling (perLine * FatalRateFactor), and
+// cutoff the onset voltage below which lines are skipped (-Inf to
+// disable, register-file mode). When footprint is true, lines outside
+// the cached workload mask are skipped.
+//
+// The floating-point operations and stream draws are bit-for-bit those
+// of the scalar loop it replaces (sram.Array.ErrorProbabilities plus
+// per-line Poisson draws): the per-line and per-bit threshold guards
+// only skip cells whose exact flip probability is zero, which
+// contribute nothing to either probability and consume no draws.
+func (t *Table) Sample(stream *rng.Stream, v, cutoff, perLine, fatalPerLine float64) (corrected int, trueMean float64, fatal bool, counts []LineCount) {
+	return t.sample(stream, v, cutoff, perLine, fatalPerLine, true)
+}
+
+// SampleAll is Sample without the workload-footprint mask (register
+// file: exercised continuously and completely).
+func (t *Table) SampleAll(stream *rng.Stream, v, cutoff, perLine, fatalPerLine float64) (corrected int, trueMean float64, fatal bool, counts []LineCount) {
+	return t.sample(stream, v, cutoff, perLine, fatalPerLine, false)
+}
+
+func (t *Table) sample(stream *rng.Stream, v, cutoff, perLine, fatalPerLine float64, footprint bool) (corrected int, trueMean float64, fatal bool, counts []LineCount) {
+	t.counts = t.counts[:0]
+	vEff := v - t.arr.Model.TempShift(t.arr.Temperature())
+	var first, second [sram.WordsPerLine]float64
+	idx := t.allIdx
+	if footprint {
+		idx = t.fpIdx
+	}
+	for _, i := range idx {
+		if t.vmax[i] < cutoff {
+			break
+		}
+		if vEff > t.vsafe[i] {
+			// Every cell of the line is provably clean: the scalar
+			// loop would compute (0, 0) and draw nothing.
+			continue
+		}
+		ps, pu := t.lineProbabilities(int(i), vEff, &first, &second)
+		if ps > 0 {
+			n := stats.SamplePoissonFast(stream, perLine*ps)
+			corrected += n
+			trueMean += perLine * ps
+			if n > 0 {
+				t.counts = append(t.counts, LineCount{Set: int(t.set[i]), Way: int(t.way[i]), N: n})
+			}
+		}
+		if pu > 0 && stats.SamplePoissonFast(stream, fatalPerLine*pu) > 0 {
+			fatal = true
+		}
+	}
+	return corrected, trueMean, fatal, t.counts
+}
+
+// lineProbabilities is the batch-table replay of
+// sram.Array.ErrorProbabilities for line i at effective voltage vEff:
+// identical accumulation order over the cells whose flip probability is
+// nonzero, with threshold guards skipping only provably-zero cells.
+func (t *Table) lineProbabilities(i int, vEff float64, first, second *[sram.WordsPerLine]float64) (ps, pu float64) {
+	// The live cells — those the scalar loop's threshold guards would
+	// not skip — are a prefix of the line's descending-threshold order.
+	// Collect them, then restore profile order (ascending index) so the
+	// accumulation below replays the scalar loop's float operations
+	// exactly. The prefix is tiny, so insertion sort suffices, and the
+	// standard two-profiled-cells-per-word line fits in stack scratch.
+	var candBuf [2 * sram.WordsPerLine]int32
+	lo, hi := t.start[i], t.start[i+1]
+	cand := candBuf[:0]
+	if int(hi-lo) > len(candBuf) {
+		cand = t.cand[:0]
+	}
+	safeV := t.safeV[lo:hi]
+	safeOrd := t.safeOrd[lo:hi]
+	for k := 0; k < len(safeV); k++ {
+		if vEff > safeV[k] {
+			break
+		}
+		cand = append(cand, safeOrd[k])
+	}
+	for a := 1; a < len(cand); a++ {
+		x := cand[a]
+		b := a - 1
+		for b >= 0 && cand[b] > x {
+			cand[b+1] = cand[b]
+			b--
+		}
+		cand[b+1] = x
+	}
+	// Word occupancy is tracked in bitmasks instead of clearing the
+	// first/second arrays between lines: with ~1 live cell per line the
+	// arrays are almost entirely untouched, and stale entries are masked
+	// out by the occupancy bits. WordsPerLine is 8, so a byte suffices.
+	anyClean := 1.0
+	var haveFirst, haveSecond uint8
+	for _, j := range cand {
+		// variation.FlipProbability, manually inlined (the call sits on
+		// the hot path's dominant loop and is too branchy for the
+		// compiler to inline): bit-for-bit the same arithmetic.
+		var pf float64
+		if w := t.width[j]; w <= 0 {
+			if vEff < t.vcrit[j] {
+				pf = 1
+			}
+		} else {
+			x := (t.vcrit[j] - vEff) / w
+			switch {
+			case x > 8:
+				pf = 1
+			case x < -8:
+				pf = 0
+			default:
+				pf = 0.5 * (1 + math.Erf(x/math.Sqrt2))
+			}
+		}
+		if pf == 0 {
+			continue
+		}
+		anyClean *= 1 - pf
+		w := t.word[j]
+		if haveFirst&(1<<w) == 0 {
+			haveFirst |= 1 << w
+			first[w] = pf
+		} else if haveSecond&(1<<w) == 0 {
+			haveSecond |= 1 << w
+			second[w] = pf
+		}
+	}
+	pu = 0.0
+	if haveSecond != 0 {
+		uncClean := 1.0
+		for w := 0; w < sram.WordsPerLine; w++ {
+			if haveSecond&(1<<w) != 0 {
+				uncClean *= 1 - first[w]*second[w]
+			}
+		}
+		pu = 1 - uncClean
+	}
+	pAny := 1 - anyClean
+	return pAny - pu, pu
+}
+
+// quantize rounds the operating point onto the aggregate-memo grid:
+// half-millivolt voltage buckets and tenth-degree temperature buckets.
+func quantize(v, tempC float64) (vq, tq float64) {
+	return float64(int64(v*2000+0.5)) / 2000, float64(int64(tempC*10+0.5)) / 10
+}
+
+// Rates returns the table's summed per-access correctable and
+// uncorrectable event probabilities at the quantized operating point
+// nearest (v, current temperature), plus a representative line (the
+// live line with the highest onset voltage) for event attribution.
+// footprint selects whether the workload mask applies.
+//
+// Used by adaptive-fidelity fast-forward: corrected events for a whole
+// (core, bank) follow Poisson(perLine * ps). Evaluations are memoized
+// per (quantized voltage, quantized temperature, footprint identity);
+// the quantized key doubles as the invalidation rule for rail and
+// temperature changes, and because the sums are computed at the
+// quantized point itself, a cold cache reproduces a warm one's values
+// exactly.
+func (t *Table) Rates(v float64, footprint bool) (ps, pu float64, repSet, repWay int) {
+	vq, tq := quantize(v, t.arr.Temperature())
+	wl := t.wl
+	if !footprint {
+		wl = nil
+	}
+	for i := range t.rates {
+		e := &t.rates[i]
+		if e.ok && e.fp == footprint && e.wl == wl && e.vq == vq && e.tq == tq {
+			return e.ps, e.pu, int(e.repSet), int(e.repWay)
+		}
+	}
+	var first, second [sram.WordsPerLine]float64
+	vEff := vq - t.arr.Model.TempShift(tq)
+	repSet, repWay = -1, -1
+	for i := range t.vmax {
+		if footprint && !t.exercised[i] {
+			continue
+		}
+		if vEff > t.vsafe[i] {
+			continue
+		}
+		lps, lpu := t.lineProbabilities(i, vEff, &first, &second)
+		if lps > 0 || lpu > 0 {
+			if repSet < 0 {
+				repSet, repWay = int(t.set[i]), int(t.way[i])
+			}
+			ps += lps
+			pu += lpu
+		}
+	}
+	e := &t.rates[t.rateClock%rateEntries]
+	t.rateClock++
+	*e = rateEntry{ok: true, fp: footprint, wl: wl, vq: vq, tq: tq,
+		ps: ps, pu: pu, repSet: int32(repSet), repWay: int32(repWay)}
+	return ps, pu, repSet, repWay
+}

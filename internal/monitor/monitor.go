@@ -41,6 +41,20 @@ var defaultPatterns = []uint64{
 	0xFFFFFFFFFFFFFFFF,
 }
 
+// patternImages holds the encoded line image of each test pattern.
+// Probes rewrite the monitor line every cycle, so the images are
+// encoded once here instead of per write.
+var patternImages = func() [][sram.WordsPerLine]ecc.Codeword {
+	imgs := make([][sram.WordsPerLine]ecc.Codeword, len(defaultPatterns))
+	for i, p := range defaultPatterns {
+		cw := ecc.Encode(p)
+		for j := range imgs[i] {
+			imgs[i][j] = cw
+		}
+	}
+	return imgs
+}()
+
 // Config tunes a monitor.
 type Config struct {
 	// EmergencyCeiling is the error rate that latches the emergency
@@ -152,14 +166,9 @@ func (m *Monitor) Probe(v float64) bool {
 		// Dead sensor: no access happens, counters stay frozen.
 		return false
 	}
-	var data [sram.WordsPerLine]uint64
-	p := defaultPatterns[m.pattern]
+	m.cache.WriteLineEncoded(m.set, m.way, &patternImages[m.pattern])
 	m.pattern = (m.pattern + 1) % len(defaultPatterns)
-	for i := range data {
-		data[i] = p
-	}
-	m.cache.WriteLine(m.set, m.way, data)
-	res := m.cache.ReadLine(m.set, m.way, v)
+	res := m.cache.ProbeLine(m.set, m.way, v)
 	m.accesses++
 	switch m.fault {
 	case FaultStuckZero:

@@ -103,11 +103,12 @@ func (l Load) Add(other Load, p Params) Load {
 
 // Rail is one independently regulated supply line.
 type Rail struct {
-	name    string
-	p       Params
-	fRes    float64
-	target  float64
-	disturb float64
+	name     string
+	p        Params
+	fRes     float64
+	target   float64
+	disturb  float64
+	onChange []func()
 }
 
 // NewRail constructs a rail. The chip seed and rail id determine the
@@ -138,8 +139,25 @@ func (r *Rail) Target() float64 { return r.target }
 // to [VMin, VMax]. It returns the setpoint actually applied.
 func (r *Rail) SetTarget(v float64) float64 {
 	v = math.Round(v/r.p.StepV) * r.p.StepV
-	r.target = clamp(v, r.p.VMin, r.p.VMax)
+	v = clamp(v, r.p.VMin, r.p.VMax)
+	if v != r.target {
+		r.target = v
+		r.notify()
+	}
 	return r.target
+}
+
+// OnChange registers fn to run whenever the rail's electrical state
+// actually changes — a setpoint move or an injected disturbance. The
+// chip uses this to drop out of adaptive-fidelity fast-forward the
+// moment any actor (controller, experiment sweep, fault injection)
+// touches a rail.
+func (r *Rail) OnChange(fn func()) { r.onChange = append(r.onChange, fn) }
+
+func (r *Rail) notify() {
+	for _, fn := range r.onChange {
+		fn()
+	}
 }
 
 // StepDown lowers the setpoint by n regulator steps.
@@ -181,7 +199,12 @@ func (r *Rail) Impedance(f float64) float64 {
 // anything the PDN model itself doesn't produce. Zero clears it; a
 // negative value models overshoot. Fault injection
 // (internal/faultinject) drives this.
-func (r *Rail) SetDisturbance(d float64) { r.disturb = d }
+func (r *Rail) SetDisturbance(d float64) {
+	if d != r.disturb {
+		r.disturb = d
+		r.notify()
+	}
+}
 
 // Disturbance returns the currently injected external droop in volts.
 func (r *Rail) Disturbance() float64 { return r.disturb }

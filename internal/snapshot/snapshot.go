@@ -46,6 +46,11 @@ type OptionsState struct {
 	// system. Empty (pre-policy blobs and the default) means the paper
 	// ladder, so historical snapshots restore unchanged.
 	Policy string `json:"policy,omitempty"`
+	// Fidelity names the event-sampling fidelity. Empty (pre-fidelity
+	// blobs and the default) means full fidelity, so historical
+	// snapshots restore unchanged and full-fidelity blobs keep their
+	// shape.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // TraceState carries a telemetry recorder's accumulated rows, so a
@@ -128,6 +133,7 @@ func Capture(sim *eccspec.Simulator) (*State, error) {
 			FullGeometry:     o.FullGeometry,
 			Workload:         o.Workload,
 			Policy:           polName,
+			Fidelity:         o.Fidelity,
 		},
 		Ticks:   sim.Ticks(),
 		Chip:    sim.Chip().CaptureState(),
@@ -160,6 +166,7 @@ func Restore(st *State) (*eccspec.Simulator, error) {
 		FullGeometry:     st.Options.FullGeometry,
 		Workload:         st.Options.Workload,
 		Policy:           st.Options.Policy,
+		Fidelity:         st.Options.Fidelity,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)

@@ -119,11 +119,36 @@ type Array struct {
 	ageHours float64
 
 	profiles map[int]*Profile
+	// lastKey/lastProf short-circuit the profile map lookup for the
+	// most recently profiled line — the monitor reads its watched line
+	// dozens of times per tick. Cleared by SetAge with the map.
+	lastKey  int
+	lastProf *Profile
 	stream   *rng.Stream
 
 	// flips is SampleFlips' scratch, reused so steady-state fault
 	// sampling allocates nothing.
 	flips []int
+
+	// memo caches the flip probabilities of the most recently sampled
+	// line at one operating point; see SampleFlips.
+	memo flipMemo
+}
+
+// flipMemo holds the per-bit flip probabilities of one line at one
+// (voltage, temperature) operating point. The monitor reads its watched
+// line dozens of times per tick at a fixed point and calibration reads
+// each line several times per step, so the erf evaluations behind the
+// probabilities are recomputed only when the line, the voltage, or the
+// temperature actually changes. The profile pointer doubles as the age
+// invalidation: SetAge rebuilds the profile map, so a stale entry can
+// never match.
+type flipMemo struct {
+	profile *Profile
+	v       float64
+	tempC   float64
+	pfs     []float64 // flip probability per active (pf > 0) bit
+	pos     []int     // bit position per active bit
 }
 
 // NewArray constructs an SRAM array backed by the given variation model.
@@ -158,6 +183,7 @@ func (a *Array) SetAge(hours float64) {
 	if hours != a.ageHours {
 		a.ageHours = hours
 		a.profiles = make(map[int]*Profile)
+		a.lastProf = nil
 	}
 }
 
@@ -183,11 +209,15 @@ func (a *Array) lineKey(set, way int) int { return set*a.Ways + way }
 func (a *Array) LineProfile(set, way int) *Profile {
 	a.checkCoords(set, way)
 	key := a.lineKey(set, way)
-	if p, ok := a.profiles[key]; ok {
-		return p
+	if a.lastProf != nil && a.lastKey == key {
+		return a.lastProf
 	}
-	p := a.scanLine(set, way)
-	a.profiles[key] = p
+	p, ok := a.profiles[key]
+	if !ok {
+		p = a.scanLine(set, way)
+		a.profiles[key] = p
+	}
+	a.lastKey, a.lastProf = key, p
 	return p
 }
 
@@ -227,9 +257,19 @@ func (a *Array) scanLine(set, way int) *Profile {
 	for i := range bitsOut {
 		bitsOut[i].Width = a.Model.CellWidth(a.Core, a.Kind, set, way, bitsOut[i].Pos)
 	}
-	sort.Slice(bitsOut, func(i, j int) bool { return bitsOut[i].Vcrit > bitsOut[j].Vcrit })
+	sort.Sort(byVcritDesc(bitsOut))
 	return &Profile{Bits: bitsOut}
 }
+
+// byVcritDesc orders weak bits by descending critical voltage. A typed
+// sorter instead of a sort.Slice closure: scanLine runs once per line
+// per age epoch, but a whole-array characterization sweep scans
+// millions of cells and the closure-based swap was measurable there.
+type byVcritDesc []WeakBit
+
+func (s byVcritDesc) Len() int           { return len(s) }
+func (s byVcritDesc) Less(i, j int) bool { return s[i].Vcrit > s[j].Vcrit }
+func (s byVcritDesc) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
 // SampleFlips simulates one read of the line at effective voltage v and
 // returns the positions (0..575) of the bits that flip on this access.
@@ -239,23 +279,37 @@ func (a *Array) scanLine(set, way int) *Profile {
 // beyond the current access must copy them.
 func (a *Array) SampleFlips(set, way int, v float64) []int {
 	p := a.LineProfile(set, way)
-	vEff := v - a.Model.TempShift(a.tempC)
-	flips := a.flips[:0]
-	for _, b := range p.Bits {
-		pf := variation.FlipProbability(b.Vcrit, b.Width, vEff)
-		if pf <= 0 {
-			// Profile is sorted by descending Vcrit: once a cell is
-			// certainly safe, every later cell is safer still only if
-			// widths were equal; widths differ, so keep scanning while
-			// the deficit could matter. A cheap cutoff: cells more
-			// than 10 standard widths above v cannot flip.
-			if b.Vcrit < vEff-10*a.Model.P.WidthMax {
-				break
+	m := &a.memo
+	if m.profile != p || m.v != v || m.tempC != a.tempC {
+		// Rebuild the active-bit table for this (line, operating point).
+		// Cells with pf == 0 consume no stream draws in the sampling
+		// loop below, so caching only the active cells replays the
+		// exact draw sequence an unmemoized scan would produce.
+		m.profile, m.v, m.tempC = p, v, a.tempC
+		m.pfs, m.pos = m.pfs[:0], m.pos[:0]
+		vEff := v - a.Model.TempShift(a.tempC)
+		for _, b := range p.Bits {
+			pf := variation.FlipProbability(b.Vcrit, b.Width, vEff)
+			if pf <= 0 {
+				// Profile is sorted by descending Vcrit: once a cell
+				// is certainly safe, every later cell is safer still
+				// only if widths were equal; widths differ, so keep
+				// scanning while the deficit could matter. A cheap
+				// cutoff: cells more than 10 standard widths above v
+				// cannot flip.
+				if b.Vcrit < vEff-10*a.Model.P.WidthMax {
+					break
+				}
+				continue
 			}
-			continue
+			m.pfs = append(m.pfs, pf)
+			m.pos = append(m.pos, b.Pos)
 		}
+	}
+	flips := a.flips[:0]
+	for i, pf := range m.pfs {
 		if a.stream.Bernoulli(pf) {
-			flips = append(flips, b.Pos)
+			flips = append(flips, m.pos[i])
 		}
 	}
 	a.flips = flips

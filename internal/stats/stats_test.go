@@ -159,3 +159,30 @@ func BenchmarkSampleBinomialNormalRegime(b *testing.B) {
 		SampleBinomial(s, 100000, 0.01)
 	}
 }
+
+// TestSamplePoissonFastEquivalence checks the drop-in contract: for any
+// (stream state, mean), SamplePoissonFast must return the same value AND
+// leave the stream at the same position as SamplePoisson, so the two can
+// be interchanged mid-stream without perturbing a reproducible run.
+func TestSamplePoissonFastEquivalence(t *testing.T) {
+	means := []float64{0, -1, 1e-12, 1e-6, 1e-3, 0.05, 0.3, 1, 3.7, 20, 49.9, 50, 50.5, 400}
+	for _, mean := range means {
+		for seed := uint64(1); seed <= 300; seed++ {
+			a, b := rng.NewStream(seed), rng.NewStream(seed)
+			// Offset the starting position so the comparison also covers
+			// mid-stream states, not just fresh ones.
+			for i := uint64(0); i < seed%5; i++ {
+				a.Float64()
+				b.Float64()
+			}
+			na := SamplePoisson(a, mean)
+			nb := SamplePoissonFast(b, mean)
+			if na != nb {
+				t.Fatalf("mean %g seed %d: SamplePoisson %d, SamplePoissonFast %d", mean, seed, na, nb)
+			}
+			if a.State() != b.State() {
+				t.Fatalf("mean %g seed %d: stream states diverge (%#x vs %#x)", mean, seed, a.State(), b.State())
+			}
+		}
+	}
+}
