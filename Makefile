@@ -8,7 +8,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X eccspec/internal/version.version=$(VERSION)"
 
-.PHONY: verify build test race vet bench bench-snapshot staticcheck chaos fuzz-smoke cluster-smoke all
+.PHONY: verify build test race vet bench bench-snapshot staticcheck chaos fuzz-smoke cluster-smoke load-smoke all
 
 all: verify
 
@@ -24,7 +24,7 @@ test:
 # The concurrent packages under the race detector, plus the run loop
 # they are built on (root Simulator and internal/engine).
 race:
-	$(GO) test -race . ./internal/engine/... ./internal/fleet/... ./internal/cluster/... ./cmd/eccspecd/...
+	$(GO) test -race . ./internal/engine/... ./internal/fleet/... ./internal/cluster/... ./internal/admission/... ./internal/loadtest/... ./cmd/eccspecd/...
 
 # Cluster smoke: one coordinator + two worker daemons on localhost, one
 # worker SIGKILLed mid-job, merged results diffed byte-for-byte against
@@ -32,6 +32,14 @@ race:
 cluster-smoke:
 	ECCSPEC_BENCH_OUT=$(CURDIR)/BENCH_cluster.json \
 		$(GO) test ./cmd/eccspecd/ -run TestClusterWorkerKillByteIdenticalResults -count=1 -v
+
+# Load smoke: a real eccspecd subprocess under ~1200 req/s of mixed
+# API traffic for 3s, held to the SLOs in loadSmokeSLO (submit p99,
+# completed-read p99, throughput floor, well-formed 429s, zero failed
+# completed-result reads). Writes a BENCH_api.json snapshot.
+load-smoke:
+	ECCSPEC_BENCH_API_OUT=$(CURDIR)/BENCH_api.json \
+		$(GO) test ./cmd/eccspecd/ -run TestLoadSmoke -count=1 -v
 
 # Staticcheck without taking a module dependency: the CI image resolves
 # the tool at its pinned @latest; run `make staticcheck` locally when
@@ -55,11 +63,13 @@ bench-snapshot:
 chaos:
 	$(GO) test ./... -run 'Chaos|Fault' -count=2
 
-# Short fuzz passes over the corruption-facing decoders; the seeded
-# corpora alone already cover the real capture formats.
+# Short fuzz passes over the corruption-facing decoders and the
+# daemon's submit endpoint; the seeded corpora alone already cover the
+# real capture formats.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzSnapshotRestore -fuzztime=10s -run '^$$' ./internal/snapshot
 	$(GO) test -fuzz=FuzzJournalRecover -fuzztime=10s -run '^$$' ./internal/store
+	$(GO) test -fuzz=FuzzSubmitFleet -fuzztime=10s -run '^$$' ./cmd/eccspecd
 
 vet:
 	$(GO) vet ./...

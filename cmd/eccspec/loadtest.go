@@ -1,0 +1,91 @@
+package main
+
+// The loadtest subcommand: drive a live eccspecd with sustained mixed
+// traffic and assert the API tier's SLOs (see internal/loadtest).
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"eccspec/internal/loadtest"
+)
+
+// loadtestCmd runs `eccspec loadtest` against a daemon.
+func loadtestCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8347", "daemon base URL")
+	rps := fs.Int("rps", 1000, "offered request rate across all workers")
+	duration := fs.Duration("duration", 5*time.Second, "storm duration")
+	workers := fs.Int("workers", 32, "maximum in-flight requests")
+	mixSpec := fs.String("mix", "", "traffic mix as submit:status:results:list weights (default 2:4:3:1)")
+	priority := fs.Int("priority", 0, "admission priority on submitted jobs")
+	seconds := fs.Float64("seconds", 0.01, "simulated seconds per submitted job")
+	apiKeys := fs.Int("api-keys", 0, "spread requests over N distinct X-API-Key identities")
+	jsonOut := fs.String("json", "", "write the BENCH_api.json snapshot to this path")
+	sloSubmit := fs.Float64("slo-submit-p99", 0, "fail if submit p99 exceeds this many ms (0 = no bound)")
+	sloRead := fs.Float64("slo-read-p99", 0, "fail if completed-results p99 exceeds this many ms (0 = no bound)")
+	sloMinRPS := fs.Float64("slo-min-rps", 0, "fail if achieved throughput is below this (0 = no floor)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	cfg := loadtest.Config{
+		BaseURL:       *addr,
+		Duration:      *duration,
+		RPS:           *rps,
+		Workers:       *workers,
+		Mix:           mix,
+		SubmitSeconds: *seconds,
+		Priority:      *priority,
+		APIKeys:       *apiKeys,
+	}
+	report, err := loadtest.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	report.Format(os.Stdout)
+	slo := loadtest.SLO{SubmitP99Ms: *sloSubmit, ReadP99Ms: *sloRead, MinThroughput: *sloMinRPS}
+	if *jsonOut != "" {
+		if err := loadtest.WriteSnapshot(*jsonOut, slo, report); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if err := report.CheckSLO(slo); err != nil {
+		return err
+	}
+	fmt.Println("SLO: pass")
+	return nil
+}
+
+// parseMix reads "s:st:r:l" weights; empty selects the default mix.
+func parseMix(spec string) (loadtest.Mix, error) {
+	if spec == "" {
+		return loadtest.Mix{}, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		return loadtest.Mix{}, fmt.Errorf("loadtest: -mix wants 4 colon-separated weights, got %q", spec)
+	}
+	ws := make([]int, 4)
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return loadtest.Mix{}, fmt.Errorf("loadtest: bad mix weight %q", p)
+		}
+		ws[i] = n
+	}
+	m := loadtest.Mix{Submit: ws[0], Status: ws[1], Results: ws[2], List: ws[3]}
+	if m.Submit+m.Status+m.Results+m.List == 0 {
+		return loadtest.Mix{}, fmt.Errorf("loadtest: mix weights sum to zero")
+	}
+	return m, nil
+}

@@ -88,6 +88,8 @@ func runCtx(ctx context.Context, args []string) error {
 		return chaosCmd(ctx, args[1:])
 	case "cluster":
 		return clusterCmd(args[1:])
+	case "loadtest":
+		return loadtestCmd(ctx, args[1:])
 	case "version", "-version", "--version":
 		fmt.Printf("eccspec %s\n", version.String())
 		return nil
@@ -447,6 +449,7 @@ func usage() {
   eccspec chaos <scenario>|-plan f [-seed N] [-seconds S] [-workload W]
   eccspec cluster members [-addr URL]
   eccspec cluster placement <fleet-id> [-addr URL]
+  eccspec loadtest -addr URL [-rps N] [-duration D] [-workers N] [-mix s:st:r:l] [-json f] [-slo-submit-p99 MS] [-slo-read-p99 MS] [-slo-min-rps N]
   eccspec version
 
 speculation policies (for -policy / -policies): %s

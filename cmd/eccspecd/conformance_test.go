@@ -1,0 +1,132 @@
+package main
+
+// HTTP conformance: one table over every /v1/* endpoint pinning the
+// protocol edges — wrong method (405 + Allow), malformed JSON (400),
+// oversize body (413), unknown fleet (404), bad query parameters
+// (400) — and the shape of the error envelope itself. The table is
+// the API contract in executable form; a route or status change that
+// isn't deliberate fails here first.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestHTTPConformance(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// One completed fleet so the id-bearing routes have a real target
+	// for their bad-parameter cases.
+	code, sub := postFleet(t, ts, `{"seeds":[7],"seconds":0.01}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("seed fleet: HTTP %d", code)
+	}
+	id := sub["id"].(string)
+	waitDone(t, ts, id)
+
+	oversize := `{"seeds":[7],"pad":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+		// allow, when set, must be a subset of the 405 Allow header.
+		allow []string
+		// errJSON asserts the body is the {"error": ...} envelope.
+		errJSON bool
+	}{
+		// Method discipline: the Go 1.22 mux must answer 405 and name
+		// the methods the route does serve.
+		{name: "collection rejects PUT", method: "PUT", path: "/v1/fleets", want: http.StatusMethodNotAllowed, allow: []string{"GET", "POST"}},
+		{name: "collection rejects DELETE", method: "DELETE", path: "/v1/fleets", want: http.StatusMethodNotAllowed, allow: []string{"GET", "POST"}},
+		{name: "status rejects POST", method: "POST", path: "/v1/fleets/" + id, want: http.StatusMethodNotAllowed, allow: []string{"GET", "DELETE"}},
+		{name: "status rejects PUT", method: "PUT", path: "/v1/fleets/" + id, want: http.StatusMethodNotAllowed, allow: []string{"GET", "DELETE"}},
+		{name: "results rejects POST", method: "POST", path: "/v1/fleets/" + id + "/results", want: http.StatusMethodNotAllowed, allow: []string{"GET"}},
+		{name: "results rejects DELETE", method: "DELETE", path: "/v1/fleets/" + id + "/results", want: http.StatusMethodNotAllowed, allow: []string{"GET"}},
+		{name: "trace rejects POST", method: "POST", path: "/v1/fleets/" + id + "/trace", want: http.StatusMethodNotAllowed, allow: []string{"GET"}},
+		{name: "metrics rejects POST", method: "POST", path: "/metrics", want: http.StatusMethodNotAllowed, allow: []string{"GET"}},
+		{name: "healthz rejects DELETE", method: "DELETE", path: "/healthz", want: http.StatusMethodNotAllowed, allow: []string{"GET"}},
+
+		// Body discipline on submit.
+		{name: "submit malformed JSON", method: "POST", path: "/v1/fleets", body: `{"seeds":[1`, want: http.StatusBadRequest, errJSON: true},
+		{name: "submit non-JSON body", method: "POST", path: "/v1/fleets", body: `chips please`, want: http.StatusBadRequest, errJSON: true},
+		{name: "submit empty fleet", method: "POST", path: "/v1/fleets", body: `{}`, want: http.StatusBadRequest, errJSON: true},
+		{name: "submit priority out of range", method: "POST", path: "/v1/fleets", body: `{"seeds":[1],"priority":10}`, want: http.StatusBadRequest, errJSON: true},
+		{name: "submit oversize body", method: "POST", path: "/v1/fleets", body: oversize, want: http.StatusRequestEntityTooLarge, errJSON: true},
+
+		// Unknown fleet ids on every id-bearing route.
+		{name: "status unknown fleet", method: "GET", path: "/v1/fleets/f-999999", want: http.StatusNotFound, errJSON: true},
+		{name: "cancel unknown fleet", method: "DELETE", path: "/v1/fleets/f-999999", want: http.StatusNotFound, errJSON: true},
+		{name: "results unknown fleet", method: "GET", path: "/v1/fleets/f-999999/results", want: http.StatusNotFound, errJSON: true},
+		{name: "trace unknown fleet", method: "GET", path: "/v1/fleets/f-999999/trace", want: http.StatusNotFound, errJSON: true},
+		{name: "unrouted path", method: "GET", path: "/v1/nope", want: http.StatusNotFound},
+
+		// Query-parameter discipline on the paged and filtered reads.
+		{name: "list non-numeric limit", method: "GET", path: "/v1/fleets?limit=lots", want: http.StatusBadRequest, errJSON: true},
+		{name: "list zero limit", method: "GET", path: "/v1/fleets?limit=0", want: http.StatusBadRequest, errJSON: true},
+		{name: "list negative offset", method: "GET", path: "/v1/fleets?offset=-1", want: http.StatusBadRequest, errJSON: true},
+		{name: "results bad limit", method: "GET", path: "/v1/fleets/" + id + "/results?limit=-3", want: http.StatusBadRequest, errJSON: true},
+		{name: "results bad offset", method: "GET", path: "/v1/fleets/" + id + "/results?offset=x", want: http.StatusBadRequest, errJSON: true},
+		{name: "trace non-numeric seed", method: "GET", path: "/v1/fleets/" + id + "/trace?seed=abc", want: http.StatusBadRequest, errJSON: true},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body io.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s = HTTP %d, want %d (body %q)", tc.method, tc.path, resp.StatusCode, tc.want, raw)
+			}
+			if len(tc.allow) > 0 {
+				allow := resp.Header.Get("Allow")
+				if allow == "" {
+					t.Fatalf("405 without an Allow header")
+				}
+				for _, m := range tc.allow {
+					if !allowLists(allow, m) {
+						t.Errorf("Allow %q does not list %s", allow, m)
+					}
+				}
+			}
+			if tc.errJSON {
+				var e struct {
+					Error string `json:"error"`
+				}
+				if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+					t.Errorf("error body is not the JSON envelope: %q", raw)
+				}
+			}
+		})
+	}
+}
+
+// allowLists reports whether a comma-separated Allow header names the
+// method.
+func allowLists(allow, method string) bool {
+	for _, m := range strings.Split(allow, ",") {
+		if strings.TrimSpace(m) == method {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package main
+
+// Load-test smoke: drive a real eccspecd subprocess (true TCP stack,
+// not httptest) with sustained mixed traffic through the
+// internal/loadtest harness and hold the API tier to its SLOs. This is
+// also the home of the `make load-smoke` bench: set
+// ECCSPEC_BENCH_API_OUT to a path and TestLoadSmoke writes the
+// BENCH_api.json snapshot there.
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"eccspec/internal/loadtest"
+)
+
+// loadSmokeSLO is the bar the smoke run must clear. Submit p99 covers
+// both accepted and shed submissions — backpressure must be as fast as
+// admission. The bounds are loose enough for a loaded CI runner but
+// tight enough that an accidental O(n) scan or lock convoy in the
+// admission path fails the gate.
+var loadSmokeSLO = loadtest.SLO{
+	SubmitP99Ms:   50,
+	ReadP99Ms:     50,
+	MinThroughput: 1000,
+}
+
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess load test")
+	}
+	// A small queue forces real shedding under the storm so the 429
+	// contract is exercised, not just reachable.
+	d := startDaemon(t, "-workers 2 -queue 32")
+
+	cfg := loadtest.Config{
+		BaseURL:       "http://" + d.addr,
+		Duration:      3 * time.Second,
+		RPS:           1200,
+		Workers:       48,
+		SubmitSeconds: 0.01,
+		Priority:      3,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	report, err := loadtest.Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf testLogWriter
+	buf.t = t
+	report.Format(&buf)
+
+	if out := os.Getenv("ECCSPEC_BENCH_API_OUT"); out != "" {
+		if err := loadtest.WriteSnapshot(out, loadSmokeSLO, report); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", out)
+	}
+
+	if err := report.CheckSLO(loadSmokeSLO); err != nil {
+		t.Fatal(err)
+	}
+
+	// The storm must actually have exercised the admission paths it
+	// claims to prove: conditional reads revalidated, and the mix
+	// carried real submission pressure.
+	if report.NotModified == 0 {
+		t.Error("no conditional read returned 304; caching path not exercised")
+	}
+	if report.AcceptedSubmits == 0 {
+		t.Error("no submission was accepted")
+	}
+	if report.OpStat(loadtest.OpResults).Count == 0 || report.OpStat(loadtest.OpList).Count == 0 {
+		t.Error("mix did not cover all read operations")
+	}
+}
+
+// testLogWriter routes the report table through t.Log so it lands in
+// verbose output and failure dumps.
+type testLogWriter struct {
+	t   *testing.T
+	buf []byte
+}
+
+func (w *testLogWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	for {
+		i := -1
+		for j, b := range w.buf {
+			if b == '\n' {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return len(p), nil
+		}
+		w.t.Log(string(w.buf[:i]))
+		w.buf = w.buf[i+1:]
+	}
+}

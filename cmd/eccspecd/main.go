@@ -8,6 +8,7 @@
 //	eccspecd [-addr host:port] [-workers N] [-queue N] [-drain-timeout D]
 //	         [-data-dir DIR] [-checkpoint-interval N]
 //	         [-retention D] [-max-jobs N] [-chaos-plan FILE]
+//	         [-rate-limit R] [-rate-burst N]
 //	         [-coordinator | -join URL] [-worker-id ID] [-public-url URL]
 //	         [-heartbeat D] [-worker-ttl D] [-worker-wait D]
 //	         [-cluster-batch N] [-version]
@@ -42,13 +43,24 @@
 // journals jobs and chip placement, so restarting it resumes the job as
 // its workers re-register.
 //
+// Admission control keeps the daemon answering under load. Submissions
+// enter a bounded priority queue (-queue deep; the request's "priority"
+// field, 0..9, orders admissions, FIFO within a class) and a full queue
+// sheds with 429 + Retry-After and X-Queue-Depth/X-Queue-Capacity
+// headers. -rate-limit applies a per-client token bucket (keyed on the
+// Authorization or X-API-Key header, else the remote address) across
+// the /v1/fleets endpoints. Fleet listings and per-chip results accept
+// limit/offset pagination, and completed /results and /trace responses
+// carry ETags, answering If-None-Match with a bodyless 304.
+//
 // Endpoints:
 //
-//	POST /v1/fleets                         submit a fleet job
-//	GET  /v1/fleets                         list jobs
-//	GET  /v1/fleets/{id}                    job status and progress
-//	GET  /v1/fleets/{id}/results            aggregated + per-chip results
-//	GET  /v1/fleets/{id}/trace              per-tick telemetry as CSV (streamed)
+//	POST   /v1/fleets                       submit a fleet job
+//	GET    /v1/fleets                       list jobs (limit/offset)
+//	GET    /v1/fleets/{id}                  job status and progress
+//	DELETE /v1/fleets/{id}                  cancel a queued/running job, or delete a finished one
+//	GET    /v1/fleets/{id}/results          aggregated + per-chip results (limit/offset, ETag)
+//	GET    /v1/fleets/{id}/trace            per-tick telemetry as CSV (streamed, ETag)
 //	GET  /metrics                           Prometheus text format
 //	GET  /healthz                           liveness (status, version, role, cluster)
 //	POST /v1/cluster/register               (coordinator) worker registration
@@ -92,6 +104,8 @@ type options struct {
 	retention          time.Duration
 	maxJobs            int
 	chaosPlan          string
+	rateLimit          float64
+	rateBurst          int
 
 	coordinator  bool
 	join         string
@@ -120,6 +134,10 @@ func main() {
 		"max completed jobs retained, oldest evicted first (0 = unlimited)")
 	flag.StringVar(&o.chaosPlan, "chaos-plan", "",
 		"JSON fault-injection plan applied to every run (see internal/faultinject)")
+	flag.Float64Var(&o.rateLimit, "rate-limit", 0,
+		"per-client request rate over /v1/fleets endpoints in req/s (0 = unlimited)")
+	flag.IntVar(&o.rateBurst, "rate-burst", 0,
+		"per-client burst on top of -rate-limit (0 = derived from the rate)")
 	flag.BoolVar(&o.coordinator, "coordinator", false,
 		"run as a cluster coordinator: shard fleets across joined workers")
 	flag.StringVar(&o.join, "join", "",
@@ -158,6 +176,8 @@ func run(o options) error {
 		checkpointEvery: o.checkpointInterval,
 		retention:       o.retention,
 		maxJobs:         o.maxJobs,
+		rateLimit:       o.rateLimit,
+		rateBurst:       o.rateBurst,
 	}
 	var storeOpts store.Options
 	if o.chaosPlan != "" {

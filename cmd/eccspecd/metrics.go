@@ -16,6 +16,11 @@ type metrics struct {
 	jobsDone       atomic.Int64
 	jobsFailed     atomic.Int64
 	jobsEvicted    atomic.Int64
+	jobsShed       atomic.Int64
+	jobsCanceled   atomic.Int64
+	rateLimited    atomic.Int64
+	notModified    atomic.Int64
+	resultEncodes  atomic.Int64
 	chipsSimulated atomic.Int64
 	chipsFailed    atomic.Int64
 	simTicks       atomic.Int64
@@ -40,11 +45,23 @@ type clusterScrape struct {
 	chipsMigrated   int64
 }
 
+// scrape carries the state sampled off the live server at scrape time,
+// as opposed to the monotonic counters the metrics struct owns.
+type scrape struct {
+	queued, running      int
+	queueDepth, queueCap int
+	degraded             bool
+	storeRetries         int64
+	cluster              *clusterScrape
+}
+
 // write renders the Prometheus text exposition format (version 0.0.4).
-// queued and running are the current job-table gauges; degraded and
-// storeRetries reflect journal health at scrape time; cl, when non-nil,
-// adds the coordinator's cluster section.
-func (m *metrics) write(w io.Writer, queued, running int, degraded bool, storeRetries int64, cl *clusterScrape) {
+// sc holds the gauges sampled at scrape time: job-table counts, the
+// admission queue's depth/capacity, journal health, and (on a
+// coordinator) the cluster section.
+func (m *metrics) write(w io.Writer, sc scrape) {
+	queued, running := sc.queued, sc.running
+	degraded, storeRetries, cl := sc.degraded, sc.storeRetries, sc.cluster
 	up := time.Since(m.start).Seconds()
 	ticks := m.simTicks.Load()
 	rate := 0.0
@@ -59,10 +76,17 @@ func (m *metrics) write(w io.Writer, queued, running int, degraded bool, storeRe
 	}
 	gauge("eccspecd_jobs_queued", "Fleet jobs waiting for the runner.", float64(queued))
 	gauge("eccspecd_jobs_running", "Fleet jobs currently simulating.", float64(running))
+	gauge("eccspecd_queue_depth", "Jobs currently held in the bounded admission queue.", float64(sc.queueDepth))
+	gauge("eccspecd_queue_capacity", "Admission queue bound; submissions past it are shed with 429.", float64(sc.queueCap))
 	counter("eccspecd_jobs_submitted_total", "Fleet jobs accepted since start.", m.jobsSubmitted.Load())
 	counter("eccspecd_jobs_done_total", "Fleet jobs completed successfully.", m.jobsDone.Load())
 	counter("eccspecd_jobs_failed_total", "Fleet jobs that failed or were cancelled.", m.jobsFailed.Load())
 	counter("eccspecd_jobs_evicted_total", "Completed fleet jobs evicted by the retention policy.", m.jobsEvicted.Load())
+	counter("eccspecd_jobs_shed_total", "Submissions refused with 429 because the admission queue was full.", m.jobsShed.Load())
+	counter("eccspecd_jobs_canceled_total", "Jobs canceled by client DELETE.", m.jobsCanceled.Load())
+	counter("eccspecd_rate_limited_total", "Requests refused with 429 by the per-client rate limit.", m.rateLimited.Load())
+	counter("eccspecd_http_not_modified_total", "Conditional GETs answered 304 without re-serializing results.", m.notModified.Load())
+	counter("eccspecd_result_encodes_total", "Full serializations of a /results response body.", m.resultEncodes.Load())
 	counter("eccspecd_chips_simulated_total", "Chip simulations completed.", m.chipsSimulated.Load())
 	counter("eccspecd_chips_failed_total", "Chip simulations that ended in an error (including recovered worker panics).", m.chipsFailed.Load())
 	counter("eccspecd_store_retries_total", "Journal commit points that needed the bounded-retry path.", storeRetries)

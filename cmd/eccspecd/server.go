@@ -7,14 +7,17 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"eccspec"
+	"eccspec/internal/admission"
 	"eccspec/internal/cluster"
 	"eccspec/internal/engine"
 	"eccspec/internal/faultinject"
@@ -44,6 +47,11 @@ const maxBodyBytes = 1 << 20
 // journal is unwritable.
 const degradedRetryAfter = "30"
 
+// shedRetryAfter is the Retry-After hint sent with 429s when the job
+// queue sheds a submission: jobs take seconds, so a short client
+// backoff is the right order of magnitude.
+const shedRetryAfter = "5"
+
 // Job lifecycle states.
 const (
 	statusQueued   = "queued"
@@ -62,6 +70,7 @@ type fleetRequest struct {
 	Workload         string   `json:"workload,omitempty"`
 	Policy           string   `json:"policy,omitempty"`
 	Fidelity         string   `json:"fidelity,omitempty"`
+	Priority         int      `json:"priority,omitempty"`
 	Seconds          float64  `json:"seconds"`
 	HighVoltagePoint bool     `json:"high_voltage_point,omitempty"`
 	FullGeometry     bool     `json:"full_geometry,omitempty"`
@@ -85,6 +94,7 @@ func (r fleetRequest) job() (fleet.Job, error) {
 		Workload:         r.Workload,
 		Policy:           r.Policy,
 		Fidelity:         r.Fidelity,
+		Priority:         r.Priority,
 		Seconds:          r.Seconds,
 		HighVoltagePoint: r.HighVoltagePoint,
 		FullGeometry:     r.FullGeometry,
@@ -109,6 +119,16 @@ type fleetJob struct {
 	Results   []fleet.ChipResult
 	Summary   *fleet.Summary
 	Err       string
+
+	// Etag is set once the job reaches a terminal immutable state
+	// (done/failed): completed results never change, so conditional
+	// GETs can skip re-serializing them.
+	Etag string
+	// cancel aborts this job's in-flight simulation; set while running.
+	cancel context.CancelFunc
+	// userCanceled marks a DELETE-initiated cancellation: the job is
+	// evicted from the store instead of resuming on restart.
+	userCanceled bool
 }
 
 // serverConfig tunes a server beyond its engine.
@@ -127,6 +147,12 @@ type serverConfig struct {
 	// maxJobs caps retained completed jobs, evicting the oldest first;
 	// 0 disables the cap.
 	maxJobs int
+	// rateLimit grants each client this many requests/second across the
+	// /v1/fleets endpoints; 0 disables rate limiting.
+	rateLimit float64
+	// rateBurst is the per-client burst above rateLimit; 0 derives it
+	// from the rate.
+	rateBurst int
 	// injector, when non-nil, delivers a chaos plan's simulated-hardware
 	// faults into every chip run (-chaos-plan).
 	injector *faultinject.Injector
@@ -174,7 +200,13 @@ type server struct {
 	degraded       atomic.Bool
 	degradedReason atomic.Value
 
-	queue      chan *fleetJob
+	// queue is the bounded admission queue feeding the runner: higher
+	// Job.Priority pops first, FIFO within a class, and a full queue
+	// sheds submissions with 429 + queue-depth headers.
+	queue *admission.Queue[*fleetJob]
+	// limiter is the per-client token bucket over /v1/fleets traffic;
+	// nil when rate limiting is disabled.
+	limiter    *admission.Limiter
 	runnerDone chan struct{}
 }
 
@@ -216,17 +248,19 @@ func newServer(engine runner, cfg serverConfig) *server {
 	if depth < len(resume) {
 		depth = len(resume)
 	}
-	s.queue = make(chan *fleetJob, depth)
+	s.queue = admission.NewQueue[*fleetJob](depth)
 	for _, j := range resume {
-		s.queue <- j
+		s.queue.Push(j, j.Job.Priority)
 	}
+	s.limiter = admission.NewLimiter(cfg.rateLimit, cfg.rateBurst)
 	s.evict()
 
-	s.mux.HandleFunc("POST /v1/fleets", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/fleets", s.handleList)
-	s.mux.HandleFunc("GET /v1/fleets/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/fleets/{id}/results", s.handleResults)
-	s.mux.HandleFunc("GET /v1/fleets/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("POST /v1/fleets", s.limited(s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/fleets", s.limited(s.handleList))
+	s.mux.HandleFunc("GET /v1/fleets/{id}", s.limited(s.handleStatus))
+	s.mux.HandleFunc("DELETE /v1/fleets/{id}", s.limited(s.handleCancel))
+	s.mux.HandleFunc("GET /v1/fleets/{id}/results", s.limited(s.handleResults))
+	s.mux.HandleFunc("GET /v1/fleets/{id}/trace", s.limited(s.handleTrace))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if cfg.coordinator != nil {
@@ -296,6 +330,11 @@ func (s *server) recover() []*fleetJob {
 			} else {
 				j.Status = statusDone
 			}
+			// Completed results are immutable, and the tag's inputs
+			// (id, chip count, completion stamp) are journaled, so a
+			// restarted daemon reissues the same ETag and client caches
+			// stay valid across restarts.
+			j.Etag = etagFor(j)
 		} else {
 			j.Submitted = s.now()
 			j.Status = statusQueued
@@ -407,7 +446,7 @@ func (s *server) beginDrain() {
 		return
 	}
 	s.draining = true
-	close(s.queue)
+	s.queue.Close()
 }
 
 // drained is closed once the runner has finished every accepted job.
@@ -438,17 +477,35 @@ func (s *server) health() (degraded bool, reason string) {
 	return s.degraded.Load(), reason
 }
 
-// runner executes queued fleets one at a time; each fleet fans its
-// chips out across the engine's worker pool.
+// runner executes queued fleets one at a time, highest priority first;
+// each fleet fans its chips out across the engine's worker pool.
 func (s *server) runner() {
 	defer close(s.runnerDone)
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
 		s.runJob(j)
 	}
 }
 
 func (s *server) runJob(j *fleetJob) {
 	s.mu.Lock()
+	// A DELETE that raced the pop (the job left the queue before Remove
+	// could see it) lands here: honor it before simulating anything.
+	if j.userCanceled {
+		j.Status = statusCanceled
+		j.Err = "canceled by client"
+		j.Finished = s.now()
+		num := j.Num
+		s.mu.Unlock()
+		s.dropFromStore(num)
+		return
+	}
+	ctx, cancel := context.WithCancel(s.runCtx)
+	defer cancel()
+	j.cancel = cancel
 	j.Status = statusRunning
 	j.Started = s.now()
 	s.mu.Unlock()
@@ -526,7 +583,7 @@ func (s *server) runJob(j *fleetJob) {
 	var fresh []fleet.ChipResult
 	var err error
 	if len(job.Seeds) > 0 {
-		fresh, err = s.engine.Run(s.runCtx, job, func(done, total int) {
+		fresh, err = s.engine.Run(ctx, job, func(done, total int) {
 			s.metrics.chipsSimulated.Add(1)
 			s.mu.Lock()
 			j.ChipsDone = priorDone + done
@@ -563,10 +620,15 @@ func (s *server) runJob(j *fleetJob) {
 	j.Finished = s.now()
 	j.Results = results
 	j.Summary = &sum
+	j.cancel = nil
 	switch {
 	case err != nil:
 		j.Status = statusCanceled
-		j.Err = err.Error()
+		if j.userCanceled {
+			j.Err = "canceled by client"
+		} else {
+			j.Err = err.Error()
+		}
 		s.metrics.jobsFailed.Add(1)
 	case sum.Failed == sum.Chips:
 		j.Status = statusFailed
@@ -576,18 +638,37 @@ func (s *server) runJob(j *fleetJob) {
 		j.Status = statusDone
 		s.metrics.jobsDone.Add(1)
 	}
+	if j.Status == statusDone || j.Status == statusFailed {
+		j.Etag = etagFor(j)
+	}
 	status := j.Status
 	finished := j.Finished
+	userCanceled := j.userCanceled
 	s.mu.Unlock()
 
 	// A cancelled job is deliberately NOT marked done: a restarted
-	// daemon re-enqueues it and continues from its checkpoints.
-	if s.cfg.store != nil && status != statusCanceled {
+	// daemon re-enqueues it and continues from its checkpoints — unless
+	// the client canceled it, in which case it leaves the store too.
+	switch {
+	case s.cfg.store != nil && status != statusCanceled:
 		if err := s.noteStore(s.cfg.store.MarkJobDone(j.Num, finished.Unix())); err != nil {
 			log.Printf("eccspecd: marking %s done: %v", j.ID, err)
 		}
+	case status == statusCanceled && userCanceled:
+		s.dropFromStore(j.Num)
 	}
 	s.evict()
+}
+
+// dropFromStore removes a client-canceled job's record so a restarted
+// daemon does not resurrect it.
+func (s *server) dropFromStore(num uint64) {
+	if s.cfg.store == nil {
+		return
+	}
+	if err := s.cfg.store.EvictJob(num); err != nil {
+		log.Printf("eccspecd: evicting canceled fleet f-%d from store: %v", num, err)
+	}
 }
 
 // --- HTTP handlers ------------------------------------------------------
@@ -602,6 +683,104 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// clientKey identifies a client for rate limiting: the API token when
+// one is presented (Authorization or X-API-Key header), otherwise the
+// remote address without its ephemeral port.
+func clientKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		return auth
+	}
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// limited wraps a /v1 handler with the per-client rate limit. A nil
+// limiter (rate limiting disabled) admits everything.
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ok, retry := s.limiter.Allow(clientKey(r))
+		if !ok {
+			secs := int(retry/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			s.metrics.rateLimited.Add(1)
+			writeError(w, http.StatusTooManyRequests,
+				"client rate limit exceeded (%g req/s, burst %d); retry in %ds",
+				s.limiter.Rate(), s.limiter.Burst(), secs)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// etagFor derives a completed job's entity tag. Every input is stable
+// across daemon restarts (the completion stamp is journaled), so the
+// tag is too.
+func etagFor(j *fleetJob) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("%s-%d-%d-%s", j.ID, len(j.Results), j.Finished.Unix(), j.Status))
+}
+
+// etagVariant derives a tag for an alternate representation of the
+// same resource (a page window, a filtered trace) by folding the
+// variant discriminator into the base tag.
+func etagVariant(base, variant string) string {
+	if variant == "" {
+		return base
+	}
+	return base[:len(base)-1] + ";" + variant + `"`
+}
+
+// etagMatches implements the If-None-Match comparison: a literal `*`
+// or any listed tag equal to etag.
+func etagMatches(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// pageParams parses the limit/offset pagination query parameters.
+// set reports whether the client asked for a window at all; limit 0
+// with set=true means "from offset to the end".
+func pageParams(r *http.Request) (offset, limit int, set bool, err error) {
+	q := r.URL.Query()
+	if v := q.Get("offset"); v != "" {
+		offset, err = strconv.Atoi(v)
+		if err != nil || offset < 0 {
+			return 0, 0, false, fmt.Errorf("bad offset %q", v)
+		}
+		set = true
+	}
+	if v := q.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 1 {
+			return 0, 0, false, fmt.Errorf("bad limit %q (want a positive integer)", v)
+		}
+		set = true
+	}
+	return offset, limit, set, nil
+}
+
+// pageWindow clips [offset, offset+limit) to n items, returning the
+// window bounds; limit 0 extends to the end.
+func pageWindow(n, offset, limit int) (lo, hi int) {
+	if offset > n {
+		offset = n
+	}
+	hi = n
+	if limit > 0 && offset+limit < n {
+		hi = offset + limit
+	}
+	return offset, hi
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -655,15 +834,18 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	select {
-	case s.queue <- j:
-	default:
+	if err := s.queue.Push(j, job.Priority); err != nil {
 		if s.cfg.store != nil {
 			s.cfg.store.EvictJob(j.Num)
 		}
 		s.nextID--
 		s.mu.Unlock()
-		writeError(w, http.StatusTooManyRequests, "job queue is full; retry later")
+		depth, capacity := s.queue.Depth(), s.queue.Capacity()
+		w.Header().Set("Retry-After", shedRetryAfter)
+		w.Header().Set("X-Queue-Depth", strconv.Itoa(depth))
+		w.Header().Set("X-Queue-Capacity", strconv.Itoa(capacity))
+		s.metrics.jobsShed.Add(1)
+		writeError(w, http.StatusTooManyRequests, "job queue is full (%d/%d); retry later", depth, capacity)
 		return
 	}
 	s.jobs[j.ID] = j
@@ -683,6 +865,7 @@ type jobStatus struct {
 	Workload   string  `json:"workload,omitempty"`
 	Policy     string  `json:"policy,omitempty"`
 	Fidelity   string  `json:"fidelity,omitempty"`
+	Priority   int     `json:"priority,omitempty"`
 	Seconds    float64 `json:"seconds"`
 	ChipsTotal int     `json:"chips_total"`
 	ChipsDone  int     `json:"chips_done"`
@@ -699,6 +882,7 @@ func (s *server) statusLocked(j *fleetJob) jobStatus {
 		Workload:   j.Job.Workload,
 		Policy:     j.Job.Policy,
 		Fidelity:   j.Job.Fidelity,
+		Priority:   j.Job.Priority,
 		Seconds:    j.Job.Seconds,
 		ChipsTotal: len(j.Job.Seeds),
 		ChipsDone:  j.ChipsDone,
@@ -715,13 +899,86 @@ func (s *server) statusLocked(j *fleetJob) jobStatus {
 }
 
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	offset, limit, paged, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	s.mu.Lock()
-	out := make([]jobStatus, 0, len(s.order))
-	for _, id := range s.order {
+	total := len(s.order)
+	lo, hi := pageWindow(total, offset, limit)
+	out := make([]jobStatus, 0, hi-lo)
+	for _, id := range s.order[lo:hi] {
 		out = append(out, s.statusLocked(s.jobs[id]))
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"fleets": out})
+	resp := map[string]any{"fleets": out, "total": total}
+	if paged {
+		resp["offset"] = lo
+		if hi < total {
+			resp["next_offset"] = hi
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCancel implements DELETE /v1/fleets/{id}. A job still waiting
+// in the queue is removed immediately (it never starts), a running job
+// has its simulation canceled, and a finished job is deleted from the
+// table and the store.
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	if j == nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no fleet %q", r.PathValue("id"))
+		return
+	}
+	switch j.Status {
+	case statusQueued:
+		j.userCanceled = true
+		if _, ok := s.queue.Remove(func(x *fleetJob) bool { return x == j }); ok {
+			j.Status = statusCanceled
+			j.Err = "canceled by client"
+			j.Finished = s.now()
+			num := j.Num
+			st := s.statusLocked(j)
+			s.mu.Unlock()
+			s.metrics.jobsCanceled.Add(1)
+			s.dropFromStore(num)
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		// The runner popped the job between our status read and the
+		// Remove; userCanceled is already set, so runJob either skips
+		// it at startup or the cancel below catches it mid-flight.
+		fallthrough
+	case statusRunning:
+		j.userCanceled = true
+		cancel := j.cancel
+		st := s.statusLocked(j)
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		s.metrics.jobsCanceled.Add(1)
+		// 202: cancellation is underway; the job reaches "canceled"
+		// once the workers unwind.
+		writeJSON(w, http.StatusAccepted, st)
+	default:
+		// Terminal states: DELETE removes the record entirely.
+		delete(s.jobs, j.ID)
+		for i, id := range s.order {
+			if id == j.ID {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		num := j.Num
+		s.mu.Unlock()
+		s.dropFromStore(num)
+		writeJSON(w, http.StatusOK, map[string]string{"id": j.ID, "status": "deleted"})
+	}
 }
 
 // lookup fetches a job by path id, writing a 404 on a miss.
@@ -762,11 +1019,32 @@ func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
+	offset, limit, paged, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j.Summary == nil {
 		writeError(w, http.StatusConflict, "fleet %s is %s; results are available once it finishes", j.ID, j.Status)
 		return
+	}
+	// Completed results are immutable: answer conditional GETs with a
+	// bare 304 before any of the response is serialized. The tag varies
+	// with the page window because the representation does.
+	if j.Etag != "" {
+		variant := ""
+		if paged {
+			variant = fmt.Sprintf("o%d-l%d", offset, limit)
+		}
+		etag := etagVariant(j.Etag, variant)
+		w.Header().Set("ETag", etag)
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+			s.metrics.notModified.Add(1)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
 	}
 	sum := j.Summary
 	resp := map[string]any{
@@ -790,8 +1068,12 @@ func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 			"counts": sum.DomainVddHist.Counts,
 		}
 	}
-	chips := make([]chipJSON, 0, len(j.Results))
-	for _, c := range j.Results {
+	lo, hi := pageWindow(len(j.Results), offset, limit)
+	if !paged {
+		lo, hi = 0, len(j.Results)
+	}
+	chips := make([]chipJSON, 0, hi-lo)
+	for _, c := range j.Results[lo:hi] {
 		cj := chipJSON{Seed: c.Seed, Ticks: c.Ticks}
 		if c.Err != nil {
 			cj.Error = c.Err.Error()
@@ -804,6 +1086,14 @@ func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 		chips = append(chips, cj)
 	}
 	resp["per_chip"] = chips
+	if paged {
+		page := map[string]any{"offset": lo, "returned": hi - lo}
+		if hi < len(j.Results) {
+			page["next_offset"] = hi
+		}
+		resp["page"] = page
+	}
+	s.metrics.resultEncodes.Add(1)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -829,7 +1119,24 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	results := j.Results
+	etag := j.Etag
 	s.mu.Unlock()
+
+	// A completed fleet's trace is as immutable as its results; the tag
+	// varies with the seed filter because the representation does.
+	if etag != "" {
+		variant := "trace"
+		if seedFilter != nil {
+			variant = fmt.Sprintf("trace-s%d", *seedFilter)
+		}
+		etag = etagVariant(etag, variant)
+		w.Header().Set("ETag", etag)
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+			s.metrics.notModified.Add(1)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
 
 	found := false
 	for _, c := range results {
@@ -929,7 +1236,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cl.workersHealthy, cl.workersDegraded, cl.workersDead = c.Membership().Counts()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, queued, running, s.degraded.Load(), retries, cl)
+	s.metrics.write(w, scrape{
+		queued:       queued,
+		running:      running,
+		queueDepth:   s.queue.Depth(),
+		queueCap:     s.queue.Capacity(),
+		degraded:     s.degraded.Load(),
+		storeRetries: retries,
+		cluster:      cl,
+	})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -951,6 +1266,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"degraded":   degraded,
 		"policies":   policy.Names(),
 		"fidelities": []string{eccspec.FidelityFull, eccspec.FidelityAdaptive},
+		"queue": map[string]int{
+			"depth":    s.queue.Depth(),
+			"capacity": s.queue.Capacity(),
+		},
+	}
+	if s.limiter != nil {
+		resp["rate_limit"] = map[string]any{
+			"rate":  s.limiter.Rate(),
+			"burst": s.limiter.Burst(),
+		}
 	}
 	if degraded {
 		resp["degraded_reason"] = reason

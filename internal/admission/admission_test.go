@@ -1,0 +1,196 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueuePriorityOrderFIFOWithinClass(t *testing.T) {
+	q := NewQueue[string](8)
+	push := func(v string, pri int) {
+		t.Helper()
+		if err := q.Push(v, pri); err != nil {
+			t.Fatalf("push %q: %v", v, err)
+		}
+	}
+	push("low-a", 0)
+	push("high-a", 5)
+	push("low-b", 0)
+	push("high-b", 5)
+	push("mid", 3)
+	q.Close()
+	want := []string{"high-a", "high-b", "mid", "low-a", "low-b"}
+	for _, w := range want {
+		v, ok := q.Pop()
+		if !ok || v != w {
+			t.Fatalf("pop = %q ok=%v, want %q", v, ok, w)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop after drain should report closed")
+	}
+}
+
+func TestQueueFullAndClosed(t *testing.T) {
+	q := NewQueue[int](2)
+	if q.Capacity() != 2 {
+		t.Fatalf("capacity = %d", q.Capacity())
+	}
+	q.Push(1, 0)
+	q.Push(2, 0)
+	if err := q.Push(3, 9); err != ErrFull {
+		t.Fatalf("push over capacity: %v, want ErrFull", err)
+	}
+	if q.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", q.Depth())
+	}
+	q.Close()
+	if err := q.Push(4, 0); err != ErrClosed {
+		t.Fatalf("push after close: %v, want ErrClosed", err)
+	}
+	// The two accepted items still drain.
+	for i := 0; i < 2; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatal("accepted item lost on close")
+		}
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := NewQueue[int](8)
+	for i := 1; i <= 5; i++ {
+		q.Push(i, i%2) // 1,3,5 at pri 1; 2,4 at pri 0
+	}
+	if v, ok := q.Remove(func(v int) bool { return v == 3 }); !ok || v != 3 {
+		t.Fatalf("remove 3 = %d ok=%v", v, ok)
+	}
+	if _, ok := q.Remove(func(v int) bool { return v == 99 }); ok {
+		t.Fatal("removed an item that was never queued")
+	}
+	q.Close()
+	want := []int{1, 5, 2, 4}
+	for _, w := range want {
+		v, ok := q.Pop()
+		if !ok || v != w {
+			t.Fatalf("pop after remove = %d ok=%v, want %d", v, ok, w)
+		}
+	}
+}
+
+func TestQueueBlockingPop(t *testing.T) {
+	q := NewQueue[int](1)
+	got := make(chan int, 1)
+	go func() {
+		v, _ := q.Pop()
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer block
+	q.Push(42, 0)
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("pop = %d", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked pop never woke up")
+	}
+}
+
+func TestQueueConcurrentProducersDrainExactly(t *testing.T) {
+	const producers, each = 8, 100
+	q := NewQueue[int](producers * each)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := q.Push(p*each+i, i%4); err != nil {
+					t.Errorf("push: %v", err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	q.Close()
+	seen := make(map[int]bool)
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("duplicate pop %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*each {
+		t.Fatalf("drained %d items, want %d", len(seen), producers*each)
+	}
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewLimiter(2, 3) // 2 tokens/s, burst 3
+	l.SetClock(func() time.Time { return now })
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("k"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.Allow("k")
+	if ok {
+		t.Fatal("request past burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry-after = %v, want (0, 1s]", retry)
+	}
+	// Half a second refills one token at 2/s.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := l.Allow("k"); !ok {
+		t.Fatal("refilled token denied")
+	}
+	if ok, _ := l.Allow("k"); ok {
+		t.Fatal("second request on one refilled token admitted")
+	}
+	// Keys are independent.
+	if ok, _ := l.Allow("other"); !ok {
+		t.Fatal("fresh key denied")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l := NewLimiter(0, 10)
+	if l != nil {
+		t.Fatal("rate 0 should disable the limiter")
+	}
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.Allow("k"); !ok {
+			t.Fatal("nil limiter denied a request")
+		}
+	}
+	if l.Rate() != 0 || l.Burst() != 0 {
+		t.Fatal("nil limiter reports a nonzero config")
+	}
+}
+
+func TestLimiterPrunesIdleBuckets(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewLimiter(10, 10)
+	l.SetClock(func() time.Time { return now })
+	for i := 0; i < maxBuckets; i++ {
+		l.Allow(string(rune('a')) + time.Duration(i).String())
+	}
+	// Everything refills; the next new key triggers a prune instead of
+	// growing without bound.
+	now = now.Add(time.Minute)
+	l.Allow("fresh")
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > 1 {
+		t.Fatalf("prune left %d buckets, want 1", n)
+	}
+}

@@ -1,0 +1,177 @@
+// Package admission is the daemon's front door under load: a bounded
+// priority queue that sheds work instead of accepting it unboundedly,
+// and a per-client token-bucket rate limiter.
+//
+// Both pieces are deliberately dependency-free and synchronous — the
+// queue is a binary heap under one mutex with a condition variable for
+// the consumer, the limiter a lazily refilled bucket map — because the
+// hot path they sit on is an HTTP handler that must answer in
+// microseconds whether a request gets in.
+package admission
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrFull is returned by Push when the queue is at capacity; the
+// caller turns it into backpressure (HTTP 429 + Retry-After).
+var ErrFull = errors.New("admission: queue is full")
+
+// ErrClosed is returned by Push after Close: the accepting side is
+// draining and takes nothing new.
+var ErrClosed = errors.New("admission: queue is closed")
+
+// entry pairs a queued value with its ordering keys: higher priority
+// pops first, and the monotone sequence number keeps FIFO order within
+// a priority class.
+type entry[T any] struct {
+	v   T
+	pri int
+	seq uint64
+}
+
+// Queue is a bounded priority queue: Push is non-blocking and fails
+// fast with ErrFull at capacity, Pop blocks until an item arrives or
+// the queue is closed and empty. Items pop highest-priority first,
+// FIFO within a class. All methods are safe for concurrent use.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	heap     []entry[T]
+	cap      int
+	seq      uint64
+	closed   bool
+}
+
+// NewQueue builds a queue holding at most capacity items; capacity
+// values below 1 select 1.
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue[T]{cap: capacity}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Capacity returns the queue's fixed bound.
+func (q *Queue[T]) Capacity() int { return q.cap }
+
+// Depth returns the number of queued items.
+func (q *Queue[T]) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// Push enqueues v at the given priority. It never blocks: a full queue
+// returns ErrFull (with the caller expected to shed the request) and a
+// closed queue returns ErrClosed.
+func (q *Queue[T]) Push(v T, priority int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if len(q.heap) >= q.cap {
+		return ErrFull
+	}
+	q.seq++
+	q.heap = append(q.heap, entry[T]{v: v, pri: priority, seq: q.seq})
+	q.siftUp(len(q.heap) - 1)
+	q.nonEmpty.Signal()
+	return nil
+}
+
+// Pop blocks until an item is available and returns it, or returns
+// ok=false once the queue has been closed and fully drained.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	if len(q.heap) == 0 {
+		return v, false
+	}
+	return q.popLocked(0), true
+}
+
+// Remove deletes and returns the first queued item (in heap order, not
+// priority order) for which match returns true. It reports ok=false
+// when nothing matches. The consumer side is unaffected: a concurrent
+// Pop simply never sees the removed item.
+func (q *Queue[T]) Remove(match func(T) bool) (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := range q.heap {
+		if match(q.heap[i].v) {
+			return q.popLocked(i), true
+		}
+	}
+	return v, false
+}
+
+// Close stops Push (ErrClosed) and lets Pop drain the remaining items
+// before reporting ok=false. Safe to call more than once.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nonEmpty.Broadcast()
+}
+
+// less orders the heap: higher priority first, then lower sequence
+// (earlier Push) within a class.
+func (q *Queue[T]) less(i, j int) bool {
+	if q.heap[i].pri != q.heap[j].pri {
+		return q.heap[i].pri > q.heap[j].pri
+	}
+	return q.heap[i].seq < q.heap[j].seq
+}
+
+// popLocked removes and returns the value at heap index i; the caller
+// holds q.mu.
+func (q *Queue[T]) popLocked(i int) T {
+	v := q.heap[i].v
+	last := len(q.heap) - 1
+	q.heap[i] = q.heap[last]
+	var zero entry[T]
+	q.heap[last] = zero // drop the reference for the GC
+	q.heap = q.heap[:last]
+	if i < last {
+		q.siftDown(i)
+		q.siftUp(i)
+	}
+	return v
+}
+
+func (q *Queue[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && q.less(l, best) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && q.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.heap[i], q.heap[best] = q.heap[best], q.heap[i]
+		i = best
+	}
+}

@@ -1,0 +1,122 @@
+package admission
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the limiter's per-client state: when an insert
+// would grow the map past this, every bucket already refilled to its
+// full burst (i.e. idle for at least burst/rate seconds) is pruned. A
+// client whose bucket was pruned simply starts over with a full burst,
+// so pruning can only ever be generous, never unfair.
+const maxBuckets = 8192
+
+// bucket is one client's token balance at the instant `last`.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Limiter applies a token-bucket rate limit per client key. Each key
+// accrues `rate` tokens per second up to `burst`; a request costs one
+// token. The zero-value-like disabled limiter is represented by a nil
+// *Limiter, whose Allow always admits.
+type Limiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time
+}
+
+// NewLimiter builds a limiter granting rate tokens/second with the
+// given burst. Returns nil (the always-allow limiter) when rate <= 0;
+// a burst below 1 selects max(1, ceil(rate)).
+func NewLimiter(rate float64, burst int) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = math.Ceil(rate)
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   b,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// SetClock substitutes the limiter's time source (tests).
+func (l *Limiter) SetClock(now func() time.Time) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
+}
+
+// Rate returns the configured tokens/second (0 for a nil limiter).
+func (l *Limiter) Rate() float64 {
+	if l == nil {
+		return 0
+	}
+	return l.rate
+}
+
+// Burst returns the configured burst (0 for a nil limiter).
+func (l *Limiter) Burst() int {
+	if l == nil {
+		return 0
+	}
+	return int(l.burst)
+}
+
+// Allow charges one token to key. When the key is out of tokens it
+// returns ok=false and how long until the next token accrues — the
+// Retry-After the HTTP layer should send.
+func (l *Limiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxBuckets {
+			l.pruneLocked()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// pruneLocked drops every bucket that has refilled to the full burst;
+// the caller holds l.mu.
+func (l *Limiter) pruneLocked() {
+	now := l.now()
+	for k, b := range l.buckets {
+		if dt := now.Sub(b.last).Seconds(); math.Min(l.burst, b.tokens+dt*l.rate) >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -36,6 +36,13 @@ import (
 // error rate at the last controller decision, and average chip power.
 var TraceColumns = []string{"vdd_mean_v", "vdd_min_v", "err_rate", "power_w"}
 
+// Priority bounds for Job.Priority: ten admission classes, 0 (default,
+// lowest) through 9 (highest).
+const (
+	MinPriority = 0
+	MaxPriority = 9
+)
+
 // Job describes one fleet simulation: the same platform and workload
 // across many chip specimens.
 type Job struct {
@@ -54,6 +61,12 @@ type Job struct {
 	// fast-forward). Serializes with the job, so cluster workers run at
 	// the same fidelity.
 	Fidelity string `json:"fidelity,omitempty"`
+	// Priority is the job's admission class (0..9, higher first). The
+	// engine itself runs whatever it is handed; the field lives on the
+	// Job so the daemon's bounded queue can order admissions and so the
+	// class serializes with the job — through the store's journal and
+	// across cluster dispatch — instead of being daemon-local state.
+	Priority int `json:"priority,omitempty"`
 	// Seconds is the simulated duration of the closed-loop speculation
 	// run after calibration.
 	Seconds float64 `json:"seconds"`
@@ -128,6 +141,9 @@ func (j Job) Validate() error {
 	}
 	if j.CheckpointEvery < 0 {
 		return fmt.Errorf("fleet: negative checkpoint interval %d", j.CheckpointEvery)
+	}
+	if j.Priority < MinPriority || j.Priority > MaxPriority {
+		return fmt.Errorf("fleet: priority %d out of range [%d, %d]", j.Priority, MinPriority, MaxPriority)
 	}
 	if j.Workload != "" {
 		if _, ok := workload.ByName(j.Workload); !ok {

@@ -1,0 +1,569 @@
+// Package loadtest drives a live eccspecd daemon with sustained,
+// mixed, concurrent API traffic and turns what it measures into an
+// SLO verdict: request throughput, per-operation latency percentiles
+// (via internal/stats), shed/rate-limit accounting, and the
+// correctness of the admission tier's backpressure responses.
+//
+// The harness is deliberately a closed-loop open-rate hybrid: a pacer
+// goroutine releases request tokens at the configured rate while a
+// bounded worker pool executes them, so the offered load stays at the
+// target even when individual requests are slow, and the achieved
+// throughput is an honest number rather than a self-limited one.
+//
+// The traffic mix models the daemon's real consumers — many readers
+// polling a completed fleet's status and results (with If-None-Match
+// revalidation), a listing dashboard, and a stream of fresh
+// submissions that the bounded queue is expected to shed under
+// pressure. Every response is validated against the API contract:
+// a shed submission must carry Retry-After and the queue-depth
+// headers, and a completed fleet's results must never fail to read.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"eccspec/internal/stats"
+)
+
+// Op names one request type in the mix.
+type Op string
+
+const (
+	OpSubmit  Op = "submit"
+	OpStatus  Op = "status"
+	OpResults Op = "results"
+	OpList    Op = "list"
+)
+
+// Mix weights the traffic by operation; zero-valued fields get the
+// DefaultMix weight for that op only if every field is zero.
+type Mix struct {
+	Submit  int `json:"submit"`
+	Status  int `json:"status"`
+	Results int `json:"results"`
+	List    int `json:"list"`
+}
+
+// DefaultMix is read-heavy with a steady submission stream — the
+// shape of a dashboard-watching fleet operator.
+var DefaultMix = Mix{Submit: 2, Status: 4, Results: 3, List: 1}
+
+// total sums the weights.
+func (m Mix) total() int { return m.Submit + m.Status + m.Results + m.List }
+
+// SLO is the latency/throughput contract the run is asserted against.
+type SLO struct {
+	// SubmitP99Ms bounds the 99th-percentile submit latency in
+	// milliseconds (a shed 429 counts — backpressure must be fast).
+	SubmitP99Ms float64 `json:"submit_p99_ms"`
+	// ReadP99Ms bounds the 99th-percentile latency of completed-result
+	// reads.
+	ReadP99Ms float64 `json:"read_p99_ms"`
+	// MinThroughput is the floor on achieved requests/second.
+	MinThroughput float64 `json:"min_throughput_rps"`
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// BaseURL is the daemon under test, e.g. http://127.0.0.1:8347.
+	BaseURL string
+	// Duration is how long the storm lasts.
+	Duration time.Duration
+	// RPS is the offered request rate across all workers.
+	RPS int
+	// Workers bounds in-flight requests; <= 0 selects 32.
+	Workers int
+	// Mix weights the operations; the zero Mix selects DefaultMix.
+	Mix Mix
+	// SubmitSeconds is the simulated duration of submitted jobs (kept
+	// tiny so the daemon's runner is busy but not swamped).
+	SubmitSeconds float64
+	// Priority is the admission class on submitted jobs.
+	Priority int
+	// APIKeys, when > 0, spreads requests over this many distinct
+	// X-API-Key identities (exercises per-client rate limiting).
+	APIKeys int
+	// Timeout bounds one request; <= 0 selects 10s.
+	Timeout time.Duration
+}
+
+// OpStats aggregates one operation's outcomes.
+type OpStats struct {
+	Op       Op             `json:"op"`
+	Count    int            `json:"count"`
+	Errors   int            `json:"errors"`
+	Statuses map[string]int `json:"statuses"`
+	P50Ms    float64        `json:"p50_ms"`
+	P90Ms    float64        `json:"p90_ms"`
+	P99Ms    float64        `json:"p99_ms"`
+	MaxMs    float64        `json:"max_ms"`
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	DurationS   float64 `json:"duration_s"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+
+	Shed              int    `json:"shed_total"`                    // 429 queue-full responses
+	MalformedShed     int    `json:"malformed_shed_total"`          // sheds missing required headers
+	RateLimited       int    `json:"rate_limited_total"`            // 429s from the client rate limit
+	NotModified       int    `json:"not_modified_total"`            // 304s on conditional reads
+	FailedResultReads int    `json:"failed_completed_result_reads"` // completed /results reads that were not 200/304
+	AcceptedSubmits   int    `json:"accepted_submits"`
+	CompletedFleetID  string `json:"completed_fleet_id"`
+
+	Ops []OpStats `json:"ops"`
+
+	// Latency histogram over every request, in milliseconds.
+	HistLoMs   float64 `json:"hist_lo_ms"`
+	HistHiMs   float64 `json:"hist_hi_ms"`
+	HistCounts []int   `json:"hist_counts"`
+}
+
+// sample is one completed request.
+type sample struct {
+	op     Op
+	ms     float64
+	status int
+	err    bool
+	// flags for contract accounting
+	shed          bool
+	malformedShed bool
+	rateLimited   bool
+	notModified   bool
+	failedRead    bool
+	accepted      bool
+}
+
+// Run executes the configured storm and returns its report. The
+// daemon must be live; Run first submits and waits out one tiny fleet
+// so the read mix has a completed, immutable target.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadtest: no base URL")
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.Workers <= 0 {
+		cfg.Workers = 32
+	}
+	if cfg.RPS <= 0 {
+		cfg.RPS = 1000
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = DefaultMix
+	}
+	if cfg.SubmitSeconds <= 0 {
+		cfg.SubmitSeconds = 0.01
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Workers * 2,
+			MaxIdleConnsPerHost: cfg.Workers * 2,
+		},
+	}
+
+	completedID, etag, err := primeCompletedFleet(ctx, client, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: priming a completed fleet: %w", err)
+	}
+
+	// The pacer releases tokens in 5ms slices so the offered rate
+	// holds steady without a sub-millisecond ticker.
+	const slice = 5 * time.Millisecond
+	perSlice := float64(cfg.RPS) * slice.Seconds()
+	tokens := make(chan struct{}, cfg.RPS) // one second of headroom
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	go func() {
+		tick := time.NewTicker(slice)
+		defer tick.Stop()
+		carry := 0.0
+		for {
+			select {
+			case <-runCtx.Done():
+				close(tokens)
+				return
+			case <-tick.C:
+				carry += perSlice
+				for ; carry >= 1; carry-- {
+					select {
+					case tokens <- struct{}{}:
+					default: // workers saturated; drop rather than burst later
+					}
+				}
+			}
+		}
+	}()
+
+	samples := make([][]sample, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := ""
+			if cfg.APIKeys > 0 {
+				key = fmt.Sprintf("loadtest-%d", w%cfg.APIKeys)
+			}
+			wk := worker{cfg: cfg, client: client, completedID: completedID, etag: etag, key: key}
+			// Deterministic per-worker op rotation weighted by the mix.
+			rotation := buildRotation(cfg.Mix)
+			i := w // stagger workers through the rotation
+			for range tokens {
+				wk.do(rotation[i%len(rotation)], &samples[w])
+				i++
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return assemble(cfg, samples, elapsed, completedID), nil
+}
+
+// worker holds one goroutine's request state.
+type worker struct {
+	cfg         Config
+	client      *http.Client
+	completedID string
+	etag        string
+	key         string
+	nthResults  int
+}
+
+// buildRotation expands the mix weights into a repeating op sequence.
+func buildRotation(m Mix) []Op {
+	var r []Op
+	for i := 0; i < m.Submit; i++ {
+		r = append(r, OpSubmit)
+	}
+	for i := 0; i < m.Status; i++ {
+		r = append(r, OpStatus)
+	}
+	for i := 0; i < m.Results; i++ {
+		r = append(r, OpResults)
+	}
+	for i := 0; i < m.List; i++ {
+		r = append(r, OpList)
+	}
+	return r
+}
+
+// do executes one operation and appends its sample.
+func (w *worker) do(op Op, out *[]sample) {
+	var (
+		req *http.Request
+		err error
+	)
+	conditional := false
+	switch op {
+	case OpSubmit:
+		body := fmt.Sprintf(`{"seeds":[1],"seconds":%g,"priority":%d}`, w.cfg.SubmitSeconds, w.cfg.Priority)
+		req, err = http.NewRequest("POST", w.cfg.BaseURL+"/v1/fleets", strings.NewReader(body))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	case OpStatus:
+		req, err = http.NewRequest("GET", w.cfg.BaseURL+"/v1/fleets/"+w.completedID, nil)
+	case OpResults:
+		req, err = http.NewRequest("GET", w.cfg.BaseURL+"/v1/fleets/"+w.completedID+"/results", nil)
+		// Every other read revalidates with If-None-Match, the way a
+		// caching consumer would.
+		w.nthResults++
+		if req != nil && w.etag != "" && w.nthResults%2 == 0 {
+			req.Header.Set("If-None-Match", w.etag)
+			conditional = true
+		}
+	case OpList:
+		req, err = http.NewRequest("GET", w.cfg.BaseURL+"/v1/fleets?limit=5", nil)
+	}
+	if err != nil {
+		*out = append(*out, sample{op: op, err: true})
+		return
+	}
+	if w.key != "" {
+		req.Header.Set("X-API-Key", w.key)
+	}
+
+	t0 := time.Now()
+	resp, err := w.client.Do(req)
+	ms := float64(time.Since(t0)) / float64(time.Millisecond)
+	s := sample{op: op, ms: ms}
+	if err != nil {
+		s.err = true
+		*out = append(*out, s)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.status = resp.StatusCode
+
+	switch op {
+	case OpSubmit:
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			s.accepted = true
+		case http.StatusTooManyRequests:
+			if resp.Header.Get("X-Queue-Capacity") != "" {
+				s.shed = true
+				if resp.Header.Get("Retry-After") == "" || resp.Header.Get("X-Queue-Depth") == "" {
+					s.malformedShed = true
+				}
+			} else {
+				s.rateLimited = true
+			}
+		default:
+			s.err = true
+		}
+	case OpResults:
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusNotModified:
+			s.notModified = true
+			if !conditional {
+				s.err = true // 304 without a conditional request is a bug
+			}
+		case http.StatusTooManyRequests:
+			s.rateLimited = true
+		default:
+			s.failedRead = true
+			s.err = true
+		}
+	default:
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			s.rateLimited = true
+		default:
+			s.err = true
+		}
+	}
+	*out = append(*out, s)
+}
+
+// primeCompletedFleet submits a one-chip job and waits for it to
+// finish, returning its id and results ETag.
+func primeCompletedFleet(ctx context.Context, client *http.Client, cfg Config) (id, etag string, err error) {
+	body := fmt.Sprintf(`{"seeds":[424242],"seconds":%g}`, cfg.SubmitSeconds)
+	resp, err := client.Post(cfg.BaseURL+"/v1/fleets", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return "", "", err
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil || sub.ID == "" {
+		return "", "", fmt.Errorf("submit response: %v (id %q)", err, sub.ID)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if ctx.Err() != nil {
+			return "", "", ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return "", "", fmt.Errorf("fleet %s did not complete in time", sub.ID)
+		}
+		resp, err := client.Get(cfg.BaseURL + "/v1/fleets/" + sub.ID)
+		if err != nil {
+			return "", "", err
+		}
+		var st struct {
+			Status string `json:"status"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return "", "", err
+		}
+		switch st.Status {
+		case "done":
+			r2, err := client.Get(cfg.BaseURL + "/v1/fleets/" + sub.ID + "/results")
+			if err != nil {
+				return "", "", err
+			}
+			io.Copy(io.Discard, r2.Body)
+			r2.Body.Close()
+			return sub.ID, r2.Header.Get("ETag"), nil
+		case "failed", "canceled":
+			return "", "", fmt.Errorf("priming fleet %s ended %s", sub.ID, st.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// assemble folds the per-worker samples into the report.
+func assemble(cfg Config, perWorker [][]sample, elapsed time.Duration, completedID string) *Report {
+	r := &Report{
+		DurationS:        elapsed.Seconds(),
+		OfferedRPS:       float64(cfg.RPS),
+		CompletedFleetID: completedID,
+	}
+	byOp := map[Op][]float64{}
+	opStats := map[Op]*OpStats{}
+	hist := stats.NewHistogram(0, 100, 50) // 2ms bins to 100ms; outliers clamp high
+	for _, ss := range perWorker {
+		for _, s := range ss {
+			r.Requests++
+			byOp[s.op] = append(byOp[s.op], s.ms)
+			os, ok := opStats[s.op]
+			if !ok {
+				os = &OpStats{Op: s.op, Statuses: map[string]int{}}
+				opStats[s.op] = os
+			}
+			os.Count++
+			os.Statuses[fmt.Sprintf("%d", s.status)]++
+			if s.err {
+				os.Errors++
+				r.Errors++
+			}
+			if s.shed {
+				r.Shed++
+			}
+			if s.malformedShed {
+				r.MalformedShed++
+			}
+			if s.rateLimited {
+				r.RateLimited++
+			}
+			if s.notModified {
+				r.NotModified++
+			}
+			if s.failedRead {
+				r.FailedResultReads++
+			}
+			if s.accepted {
+				r.AcceptedSubmits++
+			}
+			hist.Add(s.ms)
+		}
+	}
+	if r.DurationS > 0 {
+		r.AchievedRPS = float64(r.Requests) / r.DurationS
+	}
+	for op, ls := range byOp {
+		os := opStats[op]
+		os.P50Ms = stats.Percentile(ls, 50)
+		os.P90Ms = stats.Percentile(ls, 90)
+		os.P99Ms = stats.Percentile(ls, 99)
+		os.MaxMs = stats.Max(ls)
+	}
+	for _, op := range []Op{OpSubmit, OpStatus, OpResults, OpList} {
+		if os, ok := opStats[op]; ok {
+			r.Ops = append(r.Ops, *os)
+		}
+	}
+	r.HistLoMs, r.HistHiMs, r.HistCounts = hist.Lo, hist.Hi, hist.Counts
+	return r
+}
+
+// OpStat returns the stats for one op (zero value if the op never ran).
+func (r *Report) OpStat(op Op) OpStats {
+	for _, os := range r.Ops {
+		if os.Op == op {
+			return os
+		}
+	}
+	return OpStats{Op: op, Statuses: map[string]int{}}
+}
+
+// CheckSLO validates the report against the contract, returning an
+// error naming every violation. Contract violations (malformed sheds,
+// failed completed-result reads, transport errors) fail regardless of
+// the latency numbers.
+func (r *Report) CheckSLO(slo SLO) error {
+	var fails []string
+	if r.MalformedShed > 0 {
+		fails = append(fails, fmt.Sprintf("%d shed responses missing Retry-After or queue-depth headers", r.MalformedShed))
+	}
+	if r.FailedResultReads > 0 {
+		fails = append(fails, fmt.Sprintf("%d completed-result reads failed (want zero)", r.FailedResultReads))
+	}
+	if r.Errors > 0 {
+		fails = append(fails, fmt.Sprintf("%d requests errored", r.Errors))
+	}
+	if slo.SubmitP99Ms > 0 {
+		if p99 := r.OpStat(OpSubmit).P99Ms; p99 > slo.SubmitP99Ms {
+			fails = append(fails, fmt.Sprintf("submit p99 %.2fms > SLO %.2fms", p99, slo.SubmitP99Ms))
+		}
+	}
+	if slo.ReadP99Ms > 0 {
+		if p99 := r.OpStat(OpResults).P99Ms; p99 > slo.ReadP99Ms {
+			fails = append(fails, fmt.Sprintf("results p99 %.2fms > SLO %.2fms", p99, slo.ReadP99Ms))
+		}
+	}
+	if slo.MinThroughput > 0 && r.AchievedRPS < slo.MinThroughput {
+		fails = append(fails, fmt.Sprintf("achieved %.0f req/s < SLO floor %.0f req/s", r.AchievedRPS, slo.MinThroughput))
+	}
+	if len(fails) == 0 {
+		return nil
+	}
+	return fmt.Errorf("SLO violations:\n  - %s", strings.Join(fails, "\n  - "))
+}
+
+// Format renders the human-readable report table.
+func (r *Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "loadtest: %d requests in %.2fs — offered %.0f req/s, achieved %.0f req/s, %d errors\n",
+		r.Requests, r.DurationS, r.OfferedRPS, r.AchievedRPS, r.Errors)
+	fmt.Fprintf(w, "admission: %d submits accepted, %d shed (queue full), %d rate-limited, %d conditional 304s\n",
+		r.AcceptedSubmits, r.Shed, r.RateLimited, r.NotModified)
+	fmt.Fprintf(w, "%-8s %8s %7s %9s %9s %9s %9s  statuses\n", "op", "count", "errors", "p50", "p90", "p99", "max")
+	for _, os := range r.Ops {
+		fmt.Fprintf(w, "%-8s %8d %7d %8.2fms %8.2fms %8.2fms %8.2fms  %s\n",
+			os.Op, os.Count, os.Errors, os.P50Ms, os.P90Ms, os.P99Ms, os.MaxMs, formatStatuses(os.Statuses))
+	}
+}
+
+// formatStatuses renders a status-count map deterministically.
+func formatStatuses(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Snapshot is the BENCH_api.json shape: the report plus the asserted
+// SLO, so every archived run records both the numbers and the bar
+// they cleared.
+type Snapshot struct {
+	Bench  string `json:"bench"`
+	SLO    SLO    `json:"slo"`
+	Report Report `json:"report"`
+}
+
+// WriteSnapshot writes the BENCH_api.json snapshot.
+func WriteSnapshot(path string, slo SLO, r *Report) error {
+	b, err := json.MarshalIndent(Snapshot{Bench: "api", SLO: slo, Report: *r}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,76 @@
+package loadtest
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRotationFollowsMix checks the worker op rotation carries exactly
+// the configured weights.
+func TestRotationFollowsMix(t *testing.T) {
+	rot := buildRotation(Mix{Submit: 2, Status: 4, Results: 3, List: 1})
+	if len(rot) != 10 {
+		t.Fatalf("rotation length %d, want 10", len(rot))
+	}
+	counts := map[Op]int{}
+	for _, op := range rot {
+		counts[op]++
+	}
+	want := map[Op]int{OpSubmit: 2, OpStatus: 4, OpResults: 3, OpList: 1}
+	for op, n := range want {
+		if counts[op] != n {
+			t.Errorf("rotation has %d %s, want %d", counts[op], op, n)
+		}
+	}
+}
+
+// TestAssembleAndSLO folds synthetic samples into a report and checks
+// both the accounting and the SLO verdicts on it.
+func TestAssembleAndSLO(t *testing.T) {
+	perWorker := [][]sample{
+		{
+			{op: OpSubmit, ms: 5, status: 202, accepted: true},
+			{op: OpSubmit, ms: 2, status: 429, shed: true},
+			{op: OpSubmit, ms: 2, status: 429, shed: true, malformedShed: true},
+		},
+		{
+			{op: OpResults, ms: 3, status: 200},
+			{op: OpResults, ms: 1, status: 304, notModified: true},
+			{op: OpResults, ms: 8, status: 500, failedRead: true, err: true},
+			{op: OpList, ms: 4, status: 429, rateLimited: true},
+		},
+	}
+	r := assemble(Config{RPS: 100}, perWorker, 1e9, "f-1") // 1e9 ns = 1s elapsed
+	if r.Requests != 7 || r.AcceptedSubmits != 1 || r.Shed != 2 || r.MalformedShed != 1 {
+		t.Fatalf("accounting off: %+v", r)
+	}
+	if r.NotModified != 1 || r.FailedResultReads != 1 || r.RateLimited != 1 || r.Errors != 1 {
+		t.Fatalf("accounting off: %+v", r)
+	}
+	sub := r.OpStat(OpSubmit)
+	if sub.Count != 3 || sub.P99Ms != 5 || sub.Statuses["429"] != 2 {
+		t.Fatalf("submit op stats off: %+v", sub)
+	}
+
+	err := r.CheckSLO(SLO{SubmitP99Ms: 1})
+	if err == nil {
+		t.Fatal("SLO passed despite malformed sheds, failed reads, errors, and p99 breach")
+	}
+	for _, want := range []string{"shed responses missing", "completed-result reads failed", "requests errored", "submit p99"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("SLO error does not name %q:\n%v", want, err)
+		}
+	}
+
+	clean := assemble(Config{RPS: 100}, [][]sample{{
+		{op: OpSubmit, ms: 5, status: 202, accepted: true},
+		{op: OpResults, ms: 3, status: 200},
+	}}, 1e9, "f-1")
+	if err := clean.CheckSLO(SLO{SubmitP99Ms: 50, ReadP99Ms: 50}); err != nil {
+		t.Fatalf("clean report failed SLO: %v", err)
+	}
+	// A throughput floor the tiny sample can't meet must fail.
+	if err := clean.CheckSLO(SLO{MinThroughput: 1000}); err == nil {
+		t.Fatal("throughput floor not enforced")
+	}
+}
