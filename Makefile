@@ -8,7 +8,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X eccspec/internal/version.version=$(VERSION)"
 
-.PHONY: verify build test race vet bench bench-snapshot staticcheck chaos fuzz-smoke cluster-smoke load-smoke all
+.PHONY: verify build test race vet bench bench-snapshot staticcheck chaos fuzz-smoke cluster-smoke cluster-chaos load-smoke all
 
 all: verify
 
@@ -32,6 +32,16 @@ race:
 cluster-smoke:
 	ECCSPEC_BENCH_OUT=$(CURDIR)/BENCH_cluster.json \
 		$(GO) test ./cmd/eccspecd/ -run TestClusterWorkerKillByteIdenticalResults -count=1 -v
+
+# Cluster network chaos: one coordinator + two worker daemons with a
+# seeded net-fault plan (partition window, torn stream, duplicated
+# stream, slow link) armed on the coordinator's RPC transport, plus the
+# quarantine-and-recover breaker scenario; merged results are diffed
+# byte-for-byte against a single-node run and every daemon must exit
+# clean. Refreshes the BENCH_cluster.json snapshot.
+cluster-chaos:
+	ECCSPEC_BENCH_OUT=$(CURDIR)/BENCH_cluster.json \
+		$(GO) test ./cmd/eccspecd/ -run 'TestClusterNetChaos' -count=1 -v
 
 # Load smoke: a real eccspecd subprocess under ~1200 req/s of mixed
 # API traffic for 3s, held to the SLOs in loadSmokeSLO (submit p99,

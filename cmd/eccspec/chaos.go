@@ -1,12 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
+	"eccspec/internal/cluster"
 	"eccspec/internal/engine"
 	"eccspec/internal/faultinject"
 	"eccspec/internal/fleet"
@@ -141,11 +147,24 @@ func chaosCmd(ctx context.Context, args []string) error {
 		re.Close()
 	}
 
+	// Network plane: re-run the fleet through an in-process loopback
+	// cluster whose dispatch transport rides the same injector, then
+	// byte-compare the merged results against the single-node run.
+	var netReport *clusterPlaneReport
+	if sc.Plan.HasNetFaults() {
+		netReport, err = runClusterPlane(ctx, sc, in, results)
+		if err != nil {
+			return err
+		}
+	}
+
 	fmt.Println("injected events:")
 	for _, ev := range in.Events() {
 		switch {
 		case ev.Fault.Kind == faultinject.StoreError || ev.Fault.Kind == faultinject.StoreSlow:
 			fmt.Printf("  op %-4d %-5s %s\n", ev.Tick, ev.Phase, ev.Fault)
+		case strings.HasPrefix(string(ev.Fault.Kind), "net-"):
+			fmt.Printf("  rpc %-4d %-5s %s\n", ev.Tick, ev.Phase, ev.Fault)
 		default:
 			fmt.Printf("  chip %d tick %-4d %-5s %s\n", ev.Chip, ev.Tick, ev.Phase, ev.Fault)
 		}
@@ -172,5 +191,105 @@ func chaosCmd(ctx context.Context, args []string) error {
 			fmt.Println("; REPLAY FAILED")
 		}
 	}
+	if netReport != nil {
+		st := netReport.stats
+		// DupEvents counts raw duplicated stream lines, which include
+		// timing-dependent keepalives — report engagement, not the count,
+		// so the output stays byte-identical across runs.
+		dedupe := "idle"
+		if st.DupEvents > 0 {
+			dedupe = "engaged"
+		}
+		fmt.Printf("cluster: %d dispatches, %d retries, %d migrated, %d stalled, dedupe %s, %d quarantines\n",
+			st.Dispatches, st.Retries, st.ChipsMigrated, st.StreamsStalled, dedupe, netReport.quarantines)
+		for _, w := range netReport.members {
+			fmt.Printf("  worker %-4s %s (%d chips done)\n", w.ID, w.State, w.ChipsDone)
+		}
+		if !netReport.identical {
+			return fmt.Errorf("chaos: cluster results DIVERGED from the single-node run")
+		}
+		fmt.Println("cluster results byte-identical to the single-node run")
+	}
 	return nil
+}
+
+// clusterPlaneReport is what the network plane contributes to the
+// chaos report.
+type clusterPlaneReport struct {
+	stats       cluster.Stats
+	members     []cluster.Member
+	quarantines int64
+	identical   bool
+}
+
+// runClusterPlane re-runs the scenario's fleet through an in-process
+// loopback cluster — a coordinator plus sc.Workers real Executors over
+// real TCP — with the injector armed on the dispatch transport, and
+// byte-compares the merged results against the single-node run.
+func runClusterPlane(ctx context.Context, sc faultinject.Scenario, in *faultinject.Injector, want []fleet.ChipResult) (*clusterPlaneReport, error) {
+	workers := sc.Workers
+	if workers == 0 {
+		workers = 2
+	}
+	m := cluster.NewMembership(time.Minute)
+	m.SetQuarantinePolicy(sc.QuarantineAfter, sc.ProbeDelay)
+	var servers []*http.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		ex := &cluster.Executor{
+			Engine: fleet.New(fleet.Config{Workers: 2}),
+			Observers: func(seed uint64) []engine.Observer {
+				return []engine.Observer{in.Observer(seed)}
+			},
+			KeepAlive: 100 * time.Millisecond,
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST "+cluster.PathExec, ex.HandleExec)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: mux}
+		servers = append(servers, srv)
+		go srv.Serve(ln)
+		m.Join(cluster.RegisterRequest{
+			ID: fmt.Sprintf("w%d", i+1), URL: "http://" + ln.Addr().String(), Slots: 2,
+		})
+	}
+	coord := cluster.New(cluster.Config{
+		Membership:   m,
+		MaxBatch:     2,
+		WorkerWait:   10 * time.Second,
+		Poll:         5 * time.Millisecond,
+		StallTimeout: 5 * time.Second,
+		Retry: store.RetryPolicy{
+			BaseDelay:  10 * time.Millisecond,
+			MaxDelay:   200 * time.Millisecond,
+			JitterSeed: sc.Plan.Seed,
+		},
+		Transport: in.Transport(cluster.NewTransport()),
+		Logf:      func(string, ...any) {},
+	})
+	got, err := coord.Run(ctx, fleet.Job{
+		Seeds: sc.Seeds, Workload: sc.Workload, Seconds: sc.Seconds,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	identical := len(got) == len(want)
+	for i := 0; identical && i < len(got); i++ {
+		a, _ := json.Marshal(store.FromResult(got[i]))
+		b, _ := json.Marshal(store.FromResult(want[i]))
+		identical = bytes.Equal(a, b)
+	}
+	return &clusterPlaneReport{
+		stats:       coord.Stats(),
+		members:     m.Snapshot(),
+		quarantines: m.Quarantines(),
+		identical:   identical,
+	}, nil
 }

@@ -62,7 +62,7 @@ func (s *server) handleClusterMembers(w http.ResponseWriter, r *http.Request) {
 	members := c.Membership().Snapshot()
 	out := make([]cluster.MemberView, 0, len(members))
 	for _, m := range members {
-		out = append(out, cluster.MemberView{
+		v := cluster.MemberView{
 			ID:            m.ID,
 			URL:           m.URL,
 			State:         m.State,
@@ -73,7 +73,12 @@ func (s *server) handleClusterMembers(w http.ResponseWriter, r *http.Request) {
 			LastBeatAgoS:  now.Sub(m.LastBeat).Seconds(),
 			ChipsDone:     m.ChipsDone,
 			ChipsInFlight: c.InFlightOn(m.ID),
-		})
+			ConsecFails:   m.ConsecFails,
+		}
+		if m.State == cluster.StateQuarantined && m.ProbeAt.After(now) {
+			v.ProbeInSeconds = m.ProbeAt.Sub(now).Seconds()
+		}
+		out = append(out, v)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"workers": out})
 }

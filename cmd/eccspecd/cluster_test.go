@@ -198,8 +198,22 @@ func TestClusterWorkerKillByteIdenticalResults(t *testing.T) {
 	if !ok || remoteChips != 6 {
 		t.Errorf("eccspecd_cluster_chips_done_total = %v, want 6", remoteChips)
 	}
-	if dead, ok := metricValue(t, page, "eccspecd_cluster_workers_dead"); !ok || dead < 1 {
-		t.Errorf("eccspecd_cluster_workers_dead = %v, want >= 1", dead)
+	// A mid-stream failure quarantines the worker first; "dead" is the
+	// TTL's verdict, so give the 2s TTL room to pass before asserting.
+	deadBy := time.Now().Add(10 * time.Second)
+	for {
+		if dead, ok := metricValue(t, page, "eccspecd_cluster_workers_dead"); ok && dead >= 1 {
+			break
+		}
+		if time.Now().After(deadBy) {
+			dead, _ := metricValue(t, page, "eccspecd_cluster_workers_dead")
+			t.Errorf("eccspecd_cluster_workers_dead = %v, want >= 1", dead)
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+		if code, page = coord.get(t, "/metrics"); code != http.StatusOK {
+			t.Fatalf("metrics: HTTP %d", code)
+		}
 	}
 
 	// Satellite check: healthz reports the cluster role and membership.

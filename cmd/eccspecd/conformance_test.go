@@ -11,8 +11,13 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"eccspec/internal/cluster"
+	"eccspec/internal/fleet"
 )
 
 func TestHTTPConformance(t *testing.T) {
@@ -29,17 +34,7 @@ func TestHTTPConformance(t *testing.T) {
 
 	oversize := `{"seeds":[7],"pad":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
 
-	cases := []struct {
-		name   string
-		method string
-		path   string
-		body   string
-		want   int
-		// allow, when set, must be a subset of the 405 Allow header.
-		allow []string
-		// errJSON asserts the body is the {"error": ...} envelope.
-		errJSON bool
-	}{
+	cases := []conformanceCase{
 		// Method discipline: the Go 1.22 mux must answer 405 and name
 		// the methods the route does serve.
 		{name: "collection rejects PUT", method: "PUT", path: "/v1/fleets", want: http.StatusMethodNotAllowed, allow: []string{"GET", "POST"}},
@@ -75,6 +70,25 @@ func TestHTTPConformance(t *testing.T) {
 		{name: "trace non-numeric seed", method: "GET", path: "/v1/fleets/" + id + "/trace?seed=abc", want: http.StatusBadRequest, errJSON: true},
 	}
 
+	runConformanceCases(t, ts, cases)
+}
+
+// conformanceCase is one protocol-edge probe: a request and the status,
+// Allow header, and error-envelope shape it must come back with.
+type conformanceCase struct {
+	name   string
+	method string
+	path   string
+	body   string
+	want   int
+	// allow, when set, must be a subset of the 405 Allow header.
+	allow []string
+	// errJSON asserts the body is the {"error": ...} envelope.
+	errJSON bool
+}
+
+func runConformanceCases(t *testing.T, ts *httptest.Server, cases []conformanceCase) {
+	t.Helper()
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var body io.Reader
@@ -118,6 +132,60 @@ func TestHTTPConformance(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestHTTPConformanceCluster pins the same protocol edges on the
+// /v1/cluster/* routes — the registry endpoints a coordinator serves
+// and the exec endpoint a worker serves. Cluster RPCs are machine-to-
+// machine, but they hold to the same contract humans debug against:
+// 405 + Allow, 400 with a JSON error envelope, 404 for unknown names.
+func TestHTTPConformanceCluster(t *testing.T) {
+	coord := cluster.New(cluster.Config{
+		Membership: cluster.NewMembership(time.Minute),
+		WorkerWait: time.Second,
+	})
+	cs := newServer(coord, serverConfig{queueDepth: 1, coordinator: coord})
+	cts := httptest.NewServer(cs.Handler())
+	t.Cleanup(cts.Close)
+
+	oversize := `{"id":"w1","url":"http://x","pad":"` + strings.Repeat("x", maxClusterBodyBytes+1) + `"}`
+	runConformanceCases(t, cts, []conformanceCase{
+		// Method discipline on the registry.
+		{name: "register rejects GET", method: "GET", path: cluster.PathRegister, want: http.StatusMethodNotAllowed, allow: []string{"POST"}},
+		{name: "heartbeat rejects GET", method: "GET", path: cluster.PathHeartbeat, want: http.StatusMethodNotAllowed, allow: []string{"POST"}},
+		{name: "members rejects POST", method: "POST", path: cluster.PathMembers, want: http.StatusMethodNotAllowed, allow: []string{"GET"}},
+		{name: "placement rejects POST", method: "POST", path: "/v1/cluster/jobs/f-1/placement", want: http.StatusMethodNotAllowed, allow: []string{"GET"}},
+
+		// Body discipline.
+		{name: "register malformed JSON", method: "POST", path: cluster.PathRegister, body: `{"id":`, want: http.StatusBadRequest, errJSON: true},
+		{name: "register missing fields", method: "POST", path: cluster.PathRegister, body: `{"slots":4}`, want: http.StatusBadRequest, errJSON: true},
+		{name: "register oversize body", method: "POST", path: cluster.PathRegister, body: oversize, want: http.StatusBadRequest, errJSON: true},
+		{name: "heartbeat malformed JSON", method: "POST", path: cluster.PathHeartbeat, body: `not json`, want: http.StatusBadRequest, errJSON: true},
+
+		// Unknown names.
+		{name: "heartbeat unknown worker", method: "POST", path: cluster.PathHeartbeat, body: `{"id":"ghost"}`, want: http.StatusNotFound, errJSON: true},
+		{name: "placement unknown job", method: "GET", path: "/v1/cluster/jobs/f-999999/placement", want: http.StatusNotFound, errJSON: true},
+
+		// A worker-only route on a coordinator is unrouted.
+		{name: "coordinator does not serve exec", method: "POST", path: cluster.PathExec, body: `{}`, want: http.StatusNotFound},
+	})
+
+	engine := fleet.New(fleet.Config{Workers: 1})
+	ws := newServer(engine, serverConfig{
+		queueDepth:     1,
+		executor:       &cluster.Executor{Engine: engine},
+		coordinatorURL: "http://coordinator",
+	})
+	wts := httptest.NewServer(ws.Handler())
+	t.Cleanup(wts.Close)
+
+	runConformanceCases(t, wts, []conformanceCase{
+		{name: "exec rejects GET", method: "GET", path: cluster.PathExec, want: http.StatusMethodNotAllowed, allow: []string{"POST"}},
+		{name: "exec malformed JSON", method: "POST", path: cluster.PathExec, body: `{"spec":`, want: http.StatusBadRequest, errJSON: true},
+		{name: "exec invalid job", method: "POST", path: cluster.PathExec, body: `{"spec":{"seeds":[],"seconds":1}}`, want: http.StatusBadRequest, errJSON: true},
+		// A coordinator-only route on a worker is unrouted.
+		{name: "worker does not serve members", method: "GET", path: cluster.PathMembers, want: http.StatusNotFound},
+	})
 }
 
 // allowLists reports whether a comma-separated Allow header names the

@@ -11,7 +11,8 @@
 //	         [-rate-limit R] [-rate-burst N]
 //	         [-coordinator | -join URL] [-worker-id ID] [-public-url URL]
 //	         [-heartbeat D] [-worker-ttl D] [-worker-wait D]
-//	         [-cluster-batch N] [-version]
+//	         [-cluster-batch N] [-quarantine-after N] [-probe-delay D]
+//	         [-stall-timeout D] [-version]
 //
 // With -data-dir, the daemon journals every accepted job, per-chip
 // result, and periodic simulator checkpoint to DIR/journal.jsonl with
@@ -29,8 +30,12 @@
 // submissions with 503 + Retry-After until writes succeed again
 // (watch eccspecd_degraded in /metrics). -chaos-plan arms a
 // deterministic fault-injection plan (see internal/faultinject) against
-// every run — simulated hardware faults and journal I/O faults alike —
-// for resilience testing.
+// every run — simulated hardware faults, journal I/O faults, and
+// network faults (partitions, slow links, torn or duplicated cluster
+// exec streams) alike — for resilience testing. Network faults ride
+// the daemon's own RPC clients and listener, so a coordinator or
+// worker under a net plan misbehaves exactly where a real network
+// would.
 //
 // Cluster mode scales a fleet past one box. A -coordinator daemon
 // accepts the same /v1/fleets API but shards each job's chips across
@@ -107,14 +112,17 @@ type options struct {
 	rateLimit          float64
 	rateBurst          int
 
-	coordinator  bool
-	join         string
-	workerID     string
-	publicURL    string
-	heartbeat    time.Duration
-	workerTTL    time.Duration
-	workerWait   time.Duration
-	clusterBatch int
+	coordinator     bool
+	join            string
+	workerID        string
+	publicURL       string
+	heartbeat       time.Duration
+	workerTTL       time.Duration
+	workerWait      time.Duration
+	clusterBatch    int
+	quarantineAfter int
+	probeDelay      time.Duration
+	stallTimeout    time.Duration
 }
 
 func main() {
@@ -153,6 +161,12 @@ func main() {
 	flag.DurationVar(&o.workerWait, "worker-wait", 30*time.Second,
 		"how long a coordinator job waits for a healthy worker before failing")
 	flag.IntVar(&o.clusterBatch, "cluster-batch", 16, "max chips per cluster dispatch")
+	flag.IntVar(&o.quarantineAfter, "quarantine-after", cluster.DefaultQuarantineAfter,
+		"consecutive dispatch failures before a worker is quarantined")
+	flag.DurationVar(&o.probeDelay, "probe-delay", cluster.DefaultProbeDelay,
+		"wait before a quarantined worker gets a half-open trial dispatch (doubles per failed trial)")
+	flag.DurationVar(&o.stallTimeout, "stall-timeout", time.Minute,
+		"cancel and re-dispatch an exec stream silent for this long")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -180,6 +194,8 @@ func run(o options) error {
 		rateBurst:       o.rateBurst,
 	}
 	var storeOpts store.Options
+	var injector *faultinject.Injector
+	var rpcRetry store.RetryPolicy
 	if o.chaosPlan != "" {
 		plan, err := faultinject.LoadPlan(o.chaosPlan)
 		if err != nil {
@@ -189,9 +205,11 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
+		injector = in
 		cfg.injector = in
 		storeOpts.WriteHook = in.StoreHook()
 		storeOpts.Retry.JitterSeed = plan.Seed
+		rpcRetry.JitterSeed = plan.Seed
 		log.Printf("eccspecd: chaos plan %s armed (%d faults, seed %d)",
 			o.chaosPlan, len(plan.Faults), plan.Seed)
 	}
@@ -213,14 +231,28 @@ func run(o options) error {
 		log.Printf("eccspecd: journaling to %s (checkpoint every %d ticks)", o.dataDir, o.checkpointInterval)
 	}
 
+	// Every cluster RPC — coordinator dispatch and worker
+	// register/heartbeat alike — rides the bounded transport, wrapped
+	// by the chaos injector when a plan carries network faults (the
+	// wrapper is the identity otherwise).
+	var rpcTransport http.RoundTripper = cluster.NewTransport()
+	if injector != nil {
+		rpcTransport = injector.Transport(rpcTransport)
+	}
+
 	// Pick the runner: jobs simulate on the local worker pool, unless
 	// this daemon coordinates a cluster — then they shard across it.
 	var jobRunner runner = engine
 	if o.coordinator {
+		membership := cluster.NewMembership(o.workerTTL)
+		membership.SetQuarantinePolicy(o.quarantineAfter, o.probeDelay)
 		coord := cluster.New(cluster.Config{
-			Membership: cluster.NewMembership(o.workerTTL),
-			MaxBatch:   o.clusterBatch,
-			WorkerWait: o.workerWait,
+			Membership:   membership,
+			MaxBatch:     o.clusterBatch,
+			WorkerWait:   o.workerWait,
+			StallTimeout: o.stallTimeout,
+			Retry:        rpcRetry,
+			Transport:    rpcTransport,
 		})
 		cfg.coordinator = coord
 		jobRunner = coord
@@ -240,6 +272,12 @@ func run(o options) error {
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
+	}
+	if injector != nil {
+		// Listener-side partition faults (target "accept") close matched
+		// inbound connections at accept time; the wrapper is the
+		// identity when the plan has none.
+		ln = injector.Listener(ln)
 	}
 	switch {
 	case o.coordinator:
@@ -291,6 +329,7 @@ func run(o options) error {
 			Coordinator: o.join,
 			Interval:    o.heartbeat,
 			Degraded:    s.health,
+			Client:      &http.Client{Timeout: 10 * time.Second, Transport: rpcTransport},
 			Info: cluster.RegisterRequest{
 				ID:      id,
 				URL:     pub,

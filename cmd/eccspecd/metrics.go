@@ -35,14 +35,19 @@ func newMetrics() *metrics { return &metrics{start: time.Now()} }
 // clusterScrape is the coordinator's scheduling state sampled at scrape
 // time; nil when the daemon is not a coordinator.
 type clusterScrape struct {
-	workersHealthy  int
-	workersDegraded int
-	workersDead     int
-	dispatches      int64
-	chipsDone       int64
-	remoteTicks     int64
-	chipsStolen     int64
-	chipsMigrated   int64
+	workersHealthy     int
+	workersDegraded    int
+	workersQuarantined int
+	workersDead        int
+	dispatches         int64
+	chipsDone          int64
+	remoteTicks        int64
+	chipsStolen        int64
+	chipsMigrated      int64
+	retries            int64
+	streamsStalled     int64
+	dupEvents          int64
+	quarantines        int64
 }
 
 // scrape carries the state sampled off the live server at scrape time,
@@ -103,11 +108,16 @@ func (m *metrics) write(w io.Writer, sc scrape) {
 	if cl != nil {
 		gauge("eccspecd_cluster_workers_healthy", "Registered workers accepting work.", float64(cl.workersHealthy))
 		gauge("eccspecd_cluster_workers_degraded", "Registered workers reporting degraded; no new work.", float64(cl.workersDegraded))
+		gauge("eccspecd_cluster_workers_quarantined", "Workers tripped by the dispatch circuit breaker, awaiting a half-open probe.", float64(cl.workersQuarantined))
 		gauge("eccspecd_cluster_workers_dead", "Registered workers past the heartbeat TTL or failed mid-batch.", float64(cl.workersDead))
 		counter("eccspecd_cluster_dispatches_total", "Chip batches dispatched to workers.", cl.dispatches)
 		counter("eccspecd_cluster_chips_done_total", "Chips completed on remote workers.", cl.chipsDone)
 		counter("eccspecd_cluster_remote_ticks_total", "Control ticks simulated on remote workers.", cl.remoteTicks)
 		counter("eccspecd_cluster_chips_stolen_total", "Chips moved from a loaded worker's queue to an idle one.", cl.chipsStolen)
-		counter("eccspecd_cluster_chips_migrated_total", "In-flight chips re-queued off a dead or degraded worker.", cl.chipsMigrated)
+		counter("eccspecd_cluster_chips_migrated_total", "In-flight chips re-queued off a dead, degraded, or failed-dispatch worker.", cl.chipsMigrated)
+		counter("eccspecd_cluster_dispatch_retries_total", "Dispatch re-attempts scheduled by the backoff loop after a failure.", cl.retries)
+		counter("eccspecd_cluster_streams_stalled_total", "Exec streams the stall watchdog canceled for silence.", cl.streamsStalled)
+		counter("eccspecd_cluster_dup_events_total", "Stream events dropped by sequence-number dedupe.", cl.dupEvents)
+		counter("eccspecd_cluster_quarantines_total", "Workers quarantined by the dispatch circuit breaker since start.", cl.quarantines)
 	}
 }

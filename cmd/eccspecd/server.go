@@ -1227,13 +1227,21 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if c := s.cfg.coordinator; c != nil {
 		st := c.Stats()
 		cl = &clusterScrape{
-			dispatches:    st.Dispatches,
-			chipsDone:     st.ChipsDone,
-			remoteTicks:   st.RemoteTicks,
-			chipsStolen:   st.ChipsStolen,
-			chipsMigrated: st.ChipsMigrated,
+			dispatches:     st.Dispatches,
+			chipsDone:      st.ChipsDone,
+			remoteTicks:    st.RemoteTicks,
+			chipsStolen:    st.ChipsStolen,
+			chipsMigrated:  st.ChipsMigrated,
+			retries:        st.Retries,
+			streamsStalled: st.StreamsStalled,
+			dupEvents:      st.DupEvents,
+			quarantines:    c.Membership().Quarantines(),
 		}
-		cl.workersHealthy, cl.workersDegraded, cl.workersDead = c.Membership().Counts()
+		counts := c.Membership().Counts()
+		cl.workersHealthy = counts.Healthy
+		cl.workersDegraded = counts.Degraded
+		cl.workersQuarantined = counts.Quarantined
+		cl.workersDead = counts.Dead
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.write(w, scrape{
@@ -1284,12 +1292,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp["role"] = role
 	}
 	if c := s.cfg.coordinator; c != nil {
-		healthy, deg, dead := c.Membership().Counts()
+		counts := c.Membership().Counts()
 		resp["cluster"] = map[string]any{
-			"workers_total":    healthy + deg + dead,
-			"workers_healthy":  healthy,
-			"workers_degraded": deg,
-			"workers_dead":     dead,
+			"workers_total":       counts.Healthy + counts.Degraded + counts.Quarantined + counts.Dead,
+			"workers_healthy":     counts.Healthy,
+			"workers_degraded":    counts.Degraded,
+			"workers_quarantined": counts.Quarantined,
+			"workers_dead":        counts.Dead,
 		}
 	}
 	if s.cfg.executor != nil {

@@ -72,11 +72,21 @@ const (
 	EventError = "error"
 	// EventDone closes a fully executed task.
 	EventDone = "done"
+	// EventProgress is a keepalive with no payload: the worker emits it
+	// periodically so a healthy but compute-bound stream always has
+	// traffic for the coordinator's stall watchdog to observe.
+	EventProgress = "progress"
 )
 
 // Event is one line of a worker's execution stream.
 type Event struct {
 	Type string `json:"type"`
+	// Seq numbers events monotonically within one exec stream, starting
+	// at 1. The coordinator drops any event whose Seq it has already
+	// seen, which makes the stream idempotent: a duplicated or replayed
+	// tail (an injected net-dup-events fault, a proxy retry) dedupes
+	// instead of double-applying. 0 marks an unnumbered event.
+	Seq  int64  `json:"seq,omitempty"`
 	Seed uint64 `json:"seed,omitempty"`
 	// Ticks is the checkpoint's tick count (EventCheckpoint).
 	Ticks int `json:"ticks,omitempty"`
@@ -133,4 +143,10 @@ type MemberView struct {
 	LastBeatAgoS  float64 `json:"last_heartbeat_ago_s"`
 	ChipsDone     int64   `json:"chips_done"`
 	ChipsInFlight int     `json:"chips_in_flight"`
+	// ConsecFails counts consecutive failed dispatches — the quarantine
+	// circuit breaker's trip wire.
+	ConsecFails int `json:"consec_fails,omitempty"`
+	// ProbeInSeconds is how long until a quarantined worker's next
+	// half-open trial dispatch (quarantined workers only; 0 = due now).
+	ProbeInSeconds float64 `json:"probe_in_s,omitempty"`
 }

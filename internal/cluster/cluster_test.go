@@ -232,7 +232,10 @@ func severingProxy(t *testing.T, workerURL string) (*httptest.Server, *atomic.In
 // TestWorkerDeathMigratesChips kills a worker's exec stream mid-batch
 // (after a checkpoint went over the wire) and checks the survivor
 // finishes the job with byte-identical results — checkpoint migration
-// plus the first-completion-wins merge in one scenario.
+// plus the first-completion-wins merge in one scenario. The quarantine
+// threshold is 1 with an hour-long probe delay, so the broken stream
+// trips the circuit breaker immediately and the doomed worker stays
+// benched for the rest of the run.
 func TestWorkerDeathMigratesChips(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run simulation test")
@@ -242,6 +245,7 @@ func TestWorkerDeathMigratesChips(t *testing.T) {
 	want := singleNode(t, job)
 
 	m := NewMembership(time.Minute)
+	m.SetQuarantinePolicy(1, time.Hour)
 	// Doomed worker: a real executor, reached only through the proxy.
 	ex := &Executor{Engine: fleet.New(fleet.Config{Workers: 2})}
 	mux := http.NewServeMux()
@@ -270,9 +274,12 @@ func TestWorkerDeathMigratesChips(t *testing.T) {
 		t.Errorf("no chips migrated: %+v", st)
 	}
 	for _, w := range m.Snapshot() {
-		if w.ID == "doomed" && w.State != StateDead {
-			t.Errorf("doomed worker is %s, want dead", w.State)
+		if w.ID == "doomed" && w.State != StateQuarantined {
+			t.Errorf("doomed worker is %s, want quarantined", w.State)
 		}
+	}
+	if m.Quarantines() != 1 {
+		t.Errorf("quarantine counter = %d, want 1", m.Quarantines())
 	}
 }
 
@@ -353,8 +360,8 @@ func TestRejectedTaskFailsChips(t *testing.T) {
 			t.Fatalf("chip %d: err = %v, want rejection", r.Seed, r.Err)
 		}
 	}
-	if h, _, dead := m.Counts(); h != 1 || dead != 0 {
-		t.Errorf("rejecting worker should stay healthy: %d healthy %d dead", h, dead)
+	if counts := m.Counts(); counts.Healthy != 1 || counts.Dead != 0 || counts.Quarantined != 0 {
+		t.Errorf("rejecting worker should stay healthy: %+v", counts)
 	}
 }
 

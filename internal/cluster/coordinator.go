@@ -12,13 +12,33 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"eccspec/internal/fleet"
+	"eccspec/internal/rng"
+	"eccspec/internal/store"
 )
+
+// NewTransport returns the bounded transport every cluster client
+// should dial through: a dial timeout catches partitioned links, a
+// response-header timeout catches black-holed requests, and there is
+// deliberately no overall request timeout — exec streams are long-
+// lived and pace themselves with progress keepalives instead.
+func NewTransport() *http.Transport {
+	return &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 15 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ResponseHeaderTimeout: 15 * time.Second,
+		MaxIdleConnsPerHost:   16,
+	}
+}
 
 // Config tunes a Coordinator.
 type Config struct {
@@ -26,8 +46,25 @@ type Config struct {
 	// over (required).
 	Membership *Membership
 	// Client substitutes the dispatch HTTP client; nil selects one
-	// with no overall timeout (exec streams are long-lived).
+	// built on Transport with no overall timeout (exec streams are
+	// long-lived).
 	Client *http.Client
+	// Transport substitutes the default client's transport — the chaos
+	// injector wraps the bounded default here; nil selects
+	// NewTransport(). Ignored when Client is set.
+	Transport http.RoundTripper
+	// Retry bounds the per-worker dispatch retry loop: a failed
+	// dispatch requeues its chips and retries after an exponential,
+	// deterministically jittered backoff (the store's RetryPolicy
+	// shape, seeded by Retry.JitterSeed) until the membership's
+	// circuit breaker quarantines the worker. The zero value selects
+	// the store defaults (2ms base, 250ms cap).
+	Retry store.RetryPolicy
+	// StallTimeout is the exec-stream watchdog: a stream that delivers
+	// no event (progress keepalives included) for this long is
+	// canceled, counted in Stats.StreamsStalled, and its chips
+	// re-dispatched from their freshest checkpoints; <= 0 selects 60s.
+	StallTimeout time.Duration
 	// MaxBatch caps chips per dispatch; <= 0 selects 16. A worker's
 	// batch is min(its registered slots, MaxBatch), so one dispatch
 	// keeps the worker's whole pool busy without hoarding chips that
@@ -56,9 +93,18 @@ type Stats struct {
 	// ChipsStolen counts chips moved from a loaded worker's deque to
 	// an idle one.
 	ChipsStolen int64
-	// ChipsMigrated counts in-flight chips re-queued off a dead or
-	// degraded worker.
+	// ChipsMigrated counts in-flight chips re-queued off a dead,
+	// degraded, or failed-dispatch worker.
 	ChipsMigrated int64
+	// Retries counts dispatch re-attempts scheduled by the backoff
+	// loop after a failed dispatch.
+	Retries int64
+	// StreamsStalled counts exec streams the watchdog canceled for
+	// silence.
+	StreamsStalled int64
+	// DupEvents counts stream events dropped by sequence-number
+	// dedupe (replayed or duplicated tails).
+	DupEvents int64
 }
 
 // Coordinator shards fleet jobs across the membership's workers.
@@ -70,6 +116,12 @@ type Coordinator struct {
 	dispatches atomic.Int64
 	chipsDone  atomic.Int64
 	ticks      atomic.Int64
+	retries    atomic.Int64
+	stalled    atomic.Int64
+	dupEvents  atomic.Int64
+
+	jitterMu sync.Mutex
+	jitter   *rng.Stream // seeds dispatch-retry backoff (replayable)
 
 	mu           sync.Mutex
 	live         *runState // current run, nil between jobs
@@ -88,14 +140,34 @@ func New(cfg Config) *Coordinator {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 250 * time.Millisecond
 	}
-	c := &Coordinator{cfg: cfg, client: cfg.Client, logf: cfg.Logf}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = 60 * time.Second
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		client: cfg.Client,
+		logf:   cfg.Logf,
+		jitter: rng.NewStream(cfg.Retry.JitterSeed, 0xC1A0),
+	}
 	if c.client == nil {
-		c.client = &http.Client{}
+		rt := cfg.Transport
+		if rt == nil {
+			rt = NewTransport()
+		}
+		c.client = &http.Client{Transport: rt}
 	}
 	if c.logf == nil {
 		c.logf = log.Printf
 	}
 	return c
+}
+
+// retryDelay draws the jittered backoff before dispatch retry number
+// attempt (1-based) from the coordinator's seeded stream.
+func (c *Coordinator) retryDelay(attempt int) time.Duration {
+	c.jitterMu.Lock()
+	defer c.jitterMu.Unlock()
+	return c.cfg.Retry.Delay(c.jitter, attempt)
 }
 
 // Membership returns the worker registry the coordinator schedules
@@ -105,9 +177,12 @@ func (c *Coordinator) Membership() *Membership { return c.cfg.Membership }
 // Stats returns the cumulative scheduling counters, live run included.
 func (c *Coordinator) Stats() Stats {
 	s := Stats{
-		Dispatches:  c.dispatches.Load(),
-		ChipsDone:   c.chipsDone.Load(),
-		RemoteTicks: c.ticks.Load(),
+		Dispatches:     c.dispatches.Load(),
+		ChipsDone:      c.chipsDone.Load(),
+		RemoteTicks:    c.ticks.Load(),
+		Retries:        c.retries.Load(),
+		StreamsStalled: c.stalled.Load(),
+		DupEvents:      c.dupEvents.Load(),
 	}
 	c.mu.Lock()
 	s.ChipsStolen, s.ChipsMigrated = c.baseStolen, c.baseMigrated
@@ -311,16 +386,27 @@ func (c *Coordinator) Run(ctx context.Context, job fleet.Job, onProgress func(do
 			break
 		}
 		healthy := 0
+		now := time.Now()
 		for _, m := range c.cfg.Membership.Snapshot() {
 			agentsMu.Lock()
 			cancel, running := agents[m.ID]
 			agentsMu.Unlock()
-			if m.State == StateHealthy {
+			switch {
+			case m.State == StateHealthy:
 				healthy++
 				if !running {
 					spawn(m)
 				}
-			} else if running {
+			case m.State == StateQuarantined:
+				// Half-open probe: once the backoff gate passes, give
+				// the worker one agent whose first dispatch is a trial
+				// batch of one chip. A running probe is left alone —
+				// its own success or failure settles the state.
+				if !running && !now.Before(m.ProbeAt) {
+					c.logf("cluster: probing quarantined worker %s with a trial dispatch", m.ID)
+					spawn(m)
+				}
+			case running:
 				cancel() // agent requeues its chips and exits
 			}
 		}
@@ -365,11 +451,15 @@ func (c *Coordinator) waitWorkers(ctx context.Context) ([]Member, error) {
 }
 
 // agent is one worker's dispatch loop: draw a batch, stream it, repeat
-// until the job finishes or the worker fails. On a broken stream the
-// worker is declared dead, its chips (queued and in-flight alike)
-// migrate to the orphan pool with their freshest checkpoints, and the
-// agent retires; if the worker returns, the monitor spawns it a fresh
-// agent.
+// until the job finishes or the worker fails for good. A failed
+// dispatch (broken stream, stalled stream, refused connection)
+// immediately requeues the batch's unfinished chips with their
+// freshest checkpoints, then retries this worker after a jittered
+// exponential backoff — until the membership's circuit breaker
+// quarantines it, at which point its deque migrates to the orphan pool
+// and the agent retires. The monitor spawns a fresh agent for the
+// half-open probe when the quarantine backoff gate passes; that
+// agent's first dispatch is a trial batch of one chip.
 func (c *Coordinator) agent(ctx context.Context, run *runState, m Member) {
 	batch := m.Slots
 	if batch < 1 {
@@ -378,19 +468,41 @@ func (c *Coordinator) agent(ctx context.Context, run *runState, m Member) {
 	if batch > c.cfg.MaxBatch {
 		batch = c.cfg.MaxBatch
 	}
+	trial := m.State == StateQuarantined
+	fails := 0
 	for {
-		chips, ok := run.sched.next(m.ID, batch)
+		b := batch
+		if trial {
+			b = 1
+		}
+		chips, ok := run.sched.next(m.ID, b)
 		if !ok {
 			return
 		}
-		if err := c.dispatch(ctx, run, m, chips); err != nil {
-			if ctx.Err() == nil {
-				c.logf("cluster: worker %s failed mid-batch (%v); migrating its chips", m.ID, err)
-				c.cfg.Membership.MarkDead(m.ID, err.Error())
+		err := c.dispatch(ctx, run, m, chips)
+		if err == nil {
+			if trial {
+				c.logf("cluster: worker %s survived its trial dispatch; back in rotation", m.ID)
 			}
+			trial, fails = false, 0
+			c.cfg.Membership.RecordExecSuccess(m.ID)
+			continue
+		}
+		// The batch's unfinished chips go straight back to the pool —
+		// another worker can pick them up while this one backs off.
+		run.sched.release(chips)
+		if ctx.Err() != nil {
+			return
+		}
+		fails++
+		c.logf("cluster: worker %s failed dispatch (%d consecutive: %v)", m.ID, fails, err)
+		if c.cfg.Membership.RecordExecFailure(m.ID, err.Error()) {
+			c.logf("cluster: worker %s quarantined; migrating its queue", m.ID)
 			run.sched.removeWorker(m.ID)
 			return
 		}
+		c.retries.Add(1)
+		sleepCtx(ctx, c.retryDelay(fails))
 	}
 }
 
@@ -432,7 +544,11 @@ func (c *Coordinator) dispatch(ctx context.Context, run *runState, m Member, chi
 	if err != nil {
 		return fmt.Errorf("encoding task: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.URL+PathExec, bytes.NewReader(body))
+	// The stream gets its own cancel so the stall watchdog can cut it
+	// without touching the agent's context.
+	dctx, cancelStream := context.WithCancel(ctx)
+	defer cancelStream()
+	req, err := http.NewRequestWithContext(dctx, http.MethodPost, m.URL+PathExec, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -457,13 +573,46 @@ func (c *Coordinator) dispatch(ctx context.Context, run *runState, m Member, chi
 		return fmt.Errorf("exec on %s: HTTP %d", m.ID, resp.StatusCode)
 	}
 
+	// Stall watchdog: a healthy worker's stream always has traffic —
+	// checkpoints, results, or progress keepalives. Silence past
+	// StallTimeout means the connection is wedged (a black-holed link
+	// keeps the TCP session up but delivers nothing), so the watchdog
+	// cancels the stream; the caller requeues the chips and their
+	// freshest checkpoints re-dispatch elsewhere.
+	stall := c.cfg.StallTimeout
+	var stalledHere atomic.Bool
+	dog := time.AfterFunc(stall, func() {
+		stalledHere.Store(true)
+		cancelStream()
+	})
+	defer dog.Stop()
+
 	dec := json.NewDecoder(resp.Body)
+	var lastSeq int64
 	for {
 		var ev Event
 		if err := dec.Decode(&ev); err != nil {
+			if stalledHere.Load() && ctx.Err() == nil {
+				c.stalled.Add(1)
+				return fmt.Errorf("exec stream from %s: no events for %v (stalled)", m.ID, stall)
+			}
 			return fmt.Errorf("exec stream from %s: %w", m.ID, err)
 		}
+		dog.Reset(stall)
+		// Sequence dedupe: a duplicated or replayed stream tail re-
+		// delivers events the coordinator has already applied. Numbered
+		// events (Seq > 0) are idempotent — anything at or below the
+		// high-water mark is dropped here.
+		if ev.Seq > 0 {
+			if ev.Seq <= lastSeq {
+				c.dupEvents.Add(1)
+				continue
+			}
+			lastSeq = ev.Seq
+		}
 		switch ev.Type {
+		case EventProgress:
+			// Keepalive: its only job was resetting the watchdog.
 		case EventCheckpoint:
 			run.ckptMu.Lock()
 			run.ckpts[ev.Seed] = ev.Blob

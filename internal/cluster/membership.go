@@ -20,6 +20,14 @@ const (
 	// trusted (journal trouble, failing self-tests); they get no new
 	// work and their in-flight chips migrate.
 	StateDegraded = "degraded"
+	// StateQuarantined workers tripped the dispatch circuit breaker:
+	// QuarantineAfter consecutive RPC failures. They may still be
+	// heartbeating happily — quarantine is the coordinator's distrust
+	// of the exec path, not of the process — so heartbeats refresh
+	// their liveness without clearing the state. Only a successful
+	// half-open trial dispatch (after ProbeAt) revives them; a failed
+	// trial re-quarantines with a doubled probe delay.
+	StateQuarantined = "quarantined"
 	// StateDead workers missed their TTL or broke a dispatch stream;
 	// everything they held migrates. A dead worker that registers or
 	// heartbeats again is revived.
@@ -38,6 +46,12 @@ type Member struct {
 	LastBeat   time.Time
 	// ChipsDone counts chips this worker completed across all jobs.
 	ChipsDone int64
+	// ConsecFails counts consecutive failed dispatches; reset by any
+	// success. At QuarantineAfter the worker is quarantined.
+	ConsecFails int
+	// ProbeAt is when a quarantined worker earns its next half-open
+	// trial dispatch.
+	ProbeAt time.Time
 }
 
 // Membership tracks registered workers with TTL-based failure
@@ -49,18 +63,53 @@ type Membership struct {
 	members map[string]*Member
 	ttl     time.Duration
 	now     func() time.Time
+
+	quarantineAfter int
+	probeDelay      time.Duration
+	quarantines     int64 // cumulative healthy->quarantined transitions
 }
 
 // DefaultTTL is the liveness window when none is configured.
 const DefaultTTL = 10 * time.Second
 
+// Quarantine circuit-breaker defaults.
+const (
+	// DefaultQuarantineAfter is the consecutive-dispatch-failure count
+	// that trips a worker into quarantine.
+	DefaultQuarantineAfter = 3
+	// DefaultProbeDelay is the wait before a quarantined worker's first
+	// half-open trial dispatch; each failed trial doubles it.
+	DefaultProbeDelay = 5 * time.Second
+)
+
 // NewMembership builds an empty membership with the given liveness
-// TTL (<= 0 selects DefaultTTL).
+// TTL (<= 0 selects DefaultTTL) and the default quarantine policy.
 func NewMembership(ttl time.Duration) *Membership {
 	if ttl <= 0 {
 		ttl = DefaultTTL
 	}
-	return &Membership{members: make(map[string]*Member), ttl: ttl, now: time.Now}
+	return &Membership{
+		members:         make(map[string]*Member),
+		ttl:             ttl,
+		now:             time.Now,
+		quarantineAfter: DefaultQuarantineAfter,
+		probeDelay:      DefaultProbeDelay,
+	}
+}
+
+// SetQuarantinePolicy tunes the circuit breaker: after consecutive
+// dispatch failures trip quarantine, probeDelay gates the first
+// half-open trial (doubling per failed trial). Non-positive values
+// keep the defaults.
+func (m *Membership) SetQuarantinePolicy(after int, probeDelay time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if after > 0 {
+		m.quarantineAfter = after
+	}
+	if probeDelay > 0 {
+		m.probeDelay = probeDelay
+	}
 }
 
 // SetClock substitutes the time source (tests).
@@ -74,7 +123,9 @@ func (m *Membership) SetClock(now func() time.Time) {
 func (m *Membership) TTL() time.Duration { return m.ttl }
 
 // Join registers a worker, or revives/updates one that already
-// exists. It reports whether the ID was new.
+// exists. It reports whether the ID was new. A quarantined worker
+// stays quarantined: re-registering proves the process is alive, not
+// that the exec path works — only a successful trial dispatch does.
 func (m *Membership) Join(req RegisterRequest) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -87,8 +138,10 @@ func (m *Membership) Join(req RegisterRequest) bool {
 	w.URL = req.URL
 	w.Slots = req.Slots
 	w.Version = req.Version
-	w.State = StateHealthy
-	w.Reason = ""
+	if w.State != StateQuarantined {
+		w.State = StateHealthy
+		w.Reason = ""
+	}
 	w.LastBeat = now
 	return !ok
 }
@@ -106,10 +159,16 @@ func (m *Membership) Heartbeat(req HeartbeatRequest) bool {
 		return false
 	}
 	w.LastBeat = m.now()
-	if req.Degraded {
+	switch {
+	case req.Degraded:
+		// A degraded self-report supersedes quarantine: the worker is
+		// telling us not to trust it at all.
 		w.State = StateDegraded
 		w.Reason = req.Reason
-	} else {
+	case w.State == StateQuarantined:
+		// Liveness refreshed, distrust kept: the exec path has to prove
+		// itself with a successful trial dispatch.
+	default:
 		w.State = StateHealthy
 		w.Reason = ""
 	}
@@ -125,6 +184,61 @@ func (m *Membership) MarkDead(id, reason string) {
 		w.State = StateDead
 		w.Reason = reason
 	}
+}
+
+// RecordExecFailure counts one failed dispatch against the worker and
+// reports whether it is (now) quarantined. The circuit breaker trips
+// at quarantineAfter consecutive failures; a failure while already
+// quarantined is a failed half-open trial, which doubles the probe
+// delay (capped at 64x).
+func (m *Membership) RecordExecFailure(id, reason string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.members[id]
+	if w == nil {
+		return false
+	}
+	w.ConsecFails++
+	if w.ConsecFails < m.quarantineAfter && w.State != StateQuarantined {
+		return false
+	}
+	if w.State != StateQuarantined {
+		m.quarantines++
+	}
+	w.State = StateQuarantined
+	w.Reason = reason
+	backoff := w.ConsecFails - m.quarantineAfter // 0 on first trip
+	if backoff > 6 {
+		backoff = 6
+	}
+	w.ProbeAt = m.now().Add(m.probeDelay << backoff)
+	return true
+}
+
+// RecordExecSuccess counts one completed dispatch: the consecutive-
+// failure counter resets, and a quarantined worker — this was its
+// half-open trial — is revived.
+func (m *Membership) RecordExecSuccess(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.members[id]
+	if w == nil {
+		return
+	}
+	w.ConsecFails = 0
+	w.ProbeAt = time.Time{}
+	if w.State == StateQuarantined {
+		w.State = StateHealthy
+		w.Reason = ""
+	}
+}
+
+// Quarantines returns the cumulative count of quarantine transitions,
+// for the daemon's metrics.
+func (m *Membership) Quarantines() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.quarantines
 }
 
 // expireLocked applies the TTL: any non-dead worker silent past it is
@@ -164,19 +278,27 @@ func (m *Membership) Healthy() []Member {
 	return out
 }
 
+// StateCounts tallies the membership by state.
+type StateCounts struct {
+	Healthy, Degraded, Quarantined, Dead int
+}
+
 // Counts tallies members by state, expiry applied.
-func (m *Membership) Counts() (healthy, degraded, dead int) {
+func (m *Membership) Counts() StateCounts {
+	var c StateCounts
 	for _, w := range m.Snapshot() {
 		switch w.State {
 		case StateHealthy:
-			healthy++
+			c.Healthy++
 		case StateDegraded:
-			degraded++
+			c.Degraded++
+		case StateQuarantined:
+			c.Quarantined++
 		default:
-			dead++
+			c.Dead++
 		}
 	}
-	return
+	return c
 }
 
 // AddChipsDone credits a worker with finished chips (members view).

@@ -39,8 +39,8 @@ func TestMembershipLifecycle(t *testing.T) {
 	if len(m.Healthy()) != 0 {
 		t.Fatal("degraded worker counted healthy")
 	}
-	if h, d, dead := m.Counts(); h != 0 || d != 1 || dead != 0 {
-		t.Fatalf("counts = %d/%d/%d, want 0/1/0", h, d, dead)
+	if c := m.Counts(); c.Healthy != 0 || c.Degraded != 1 || c.Dead != 0 {
+		t.Fatalf("counts = %+v, want 0 healthy / 1 degraded / 0 dead", c)
 	}
 
 	// A healthy heartbeat recovers it.
@@ -52,8 +52,8 @@ func TestMembershipLifecycle(t *testing.T) {
 
 	// Silence past the TTL kills it...
 	advance(11 * time.Second)
-	if h, d, dead := m.Counts(); h != 0 || d != 0 || dead != 1 {
-		t.Fatalf("counts after TTL = %d/%d/%d, want 0/0/1", h, d, dead)
+	if c := m.Counts(); c.Healthy != 0 || c.Degraded != 0 || c.Dead != 1 {
+		t.Fatalf("counts after TTL = %+v, want 0/0/1", c)
 	}
 	if s := m.Snapshot(); s[0].Reason != "heartbeat TTL expired" {
 		t.Fatalf("dead reason = %q", s[0].Reason)
@@ -67,7 +67,7 @@ func TestMembershipLifecycle(t *testing.T) {
 	}
 
 	m.MarkDead("w1", "stream broke")
-	if h, _, dead := m.Counts(); h != 0 || dead != 1 {
+	if c := m.Counts(); c.Healthy != 0 || c.Dead != 1 {
 		t.Fatal("MarkDead did not kill the worker")
 	}
 	// Re-registration revives even an explicitly dead worker.
@@ -79,6 +79,99 @@ func TestMembershipLifecycle(t *testing.T) {
 	m.AddChipsDone("w1", 7)
 	if s := m.Snapshot(); s[0].ChipsDone != 7 {
 		t.Fatalf("ChipsDone = %d, want 7", s[0].ChipsDone)
+	}
+}
+
+// TestQuarantineStateMachine walks the dispatch circuit breaker on a
+// fake clock: consecutive failures trip it, heartbeats and re-joins do
+// not clear it, a failed half-open trial doubles the probe delay, and
+// only a successful dispatch revives the worker.
+func TestQuarantineStateMachine(t *testing.T) {
+	m := NewMembership(time.Minute)
+	m.SetQuarantinePolicy(3, 4*time.Second)
+	var mu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	m.SetClock(func() time.Time { mu.Lock(); defer mu.Unlock(); return now })
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	m.Join(RegisterRequest{ID: "w1", URL: "http://a", Slots: 2})
+
+	// Two failures: still healthy, counter visible.
+	for i := 0; i < 2; i++ {
+		if m.RecordExecFailure("w1", "boom") {
+			t.Fatalf("failure %d tripped the breaker early", i+1)
+		}
+	}
+	if s := m.Snapshot(); s[0].State != StateHealthy || s[0].ConsecFails != 2 {
+		t.Fatalf("after 2 failures: %+v", s[0])
+	}
+	// A success resets the counter entirely.
+	m.RecordExecSuccess("w1")
+	if s := m.Snapshot(); s[0].ConsecFails != 0 {
+		t.Fatalf("success did not reset fails: %+v", s[0])
+	}
+
+	// Three straight failures trip quarantine with ProbeAt one delay out.
+	for i := 0; i < 2; i++ {
+		m.RecordExecFailure("w1", "boom")
+	}
+	if !m.RecordExecFailure("w1", "boom") {
+		t.Fatal("third consecutive failure did not quarantine")
+	}
+	s := m.Snapshot()
+	if s[0].State != StateQuarantined || s[0].Reason != "boom" {
+		t.Fatalf("after trip: %+v", s[0])
+	}
+	if got := s[0].ProbeAt.Sub(now); got != 4*time.Second {
+		t.Fatalf("first probe delay = %v, want 4s", got)
+	}
+	if m.Quarantines() != 1 {
+		t.Fatalf("quarantine counter = %d, want 1", m.Quarantines())
+	}
+
+	// Quarantined workers are not healthy, but liveness still counts.
+	if len(m.Healthy()) != 0 {
+		t.Fatal("quarantined worker listed healthy")
+	}
+	if c := m.Counts(); c.Quarantined != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+
+	// Neither a healthy heartbeat nor a re-join clears quarantine.
+	advance(time.Second)
+	m.Heartbeat(HeartbeatRequest{ID: "w1"})
+	m.Join(RegisterRequest{ID: "w1", URL: "http://a2", Slots: 2})
+	if s := m.Snapshot(); s[0].State != StateQuarantined {
+		t.Fatalf("heartbeat/join cleared quarantine: %+v", s[0])
+	}
+
+	// A failed half-open trial doubles the probe delay; the counter
+	// records one transition, not two.
+	if !m.RecordExecFailure("w1", "still down") {
+		t.Fatal("failed trial did not stay quarantined")
+	}
+	if s := m.Snapshot(); s[0].ProbeAt.Sub(now) != 8*time.Second {
+		t.Fatalf("second probe delay = %v, want 8s", s[0].ProbeAt.Sub(now))
+	}
+	if m.Quarantines() != 1 {
+		t.Fatalf("failed trial re-counted: %d", m.Quarantines())
+	}
+
+	// A successful trial revives the worker completely.
+	m.RecordExecSuccess("w1")
+	s = m.Snapshot()
+	if s[0].State != StateHealthy || s[0].ConsecFails != 0 || !s[0].ProbeAt.IsZero() {
+		t.Fatalf("successful trial did not revive: %+v", s[0])
+	}
+
+	// A quarantined worker that stops heartbeating entirely still dies
+	// by TTL.
+	for i := 0; i < 3; i++ {
+		m.RecordExecFailure("w1", "boom")
+	}
+	advance(2 * time.Minute)
+	if c := m.Counts(); c.Dead != 1 {
+		t.Fatalf("silent quarantined worker should expire dead: %+v", c)
 	}
 }
 

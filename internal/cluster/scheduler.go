@@ -136,13 +136,19 @@ func (s *scheduler) claimComplete(chip int) (first bool, done int) {
 }
 
 // release returns still-unfinished chips of a batch to the orphan pool
-// without removing the worker (a worker that answered the batch with a
-// task-level refusal, or a done-event that skipped chips).
+// without removing the worker (a failed dispatch the agent will retry,
+// a task-level refusal, or a done-event that skipped chips). Released
+// in-flight chips count as migrations: they left a worker mid-batch
+// and will resume elsewhere — or on the same worker — from their
+// freshest streamed checkpoint.
 func (s *scheduler) release(chips []int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range chips {
 		if !s.completed[c] {
+			if _, ok := s.inflight[c]; ok {
+				s.migrated++
+			}
 			delete(s.inflight, c)
 			s.orphans = append(s.orphans, c)
 		}

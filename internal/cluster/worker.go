@@ -9,6 +9,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"net/http"
@@ -17,6 +18,7 @@ import (
 
 	"eccspec/internal/engine"
 	"eccspec/internal/fleet"
+	"eccspec/internal/rng"
 	"eccspec/internal/store"
 )
 
@@ -34,6 +36,11 @@ type Executor struct {
 	// the worker daemon plugs its tick metrics and chaos injector in
 	// here, exactly as it does for locally submitted fleets.
 	Observers func(seed uint64) []engine.Observer
+	// KeepAlive is the progress-keepalive period: while a task runs,
+	// the stream emits an empty progress event at least this often so
+	// the coordinator's stall watchdog can tell "slow chip" from
+	// "wedged connection"; <= 0 selects 5s.
+	KeepAlive time.Duration
 }
 
 // HandleExec serves PathExec: decode a Task, run it, and stream one
@@ -60,16 +67,54 @@ func (e *Executor) HandleExec(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	var mu sync.Mutex
+	var (
+		mu     sync.Mutex
+		seq    int64
+		closed bool
+	)
 	enc := json.NewEncoder(w)
+	// Every event carries a monotone per-stream sequence number so the
+	// coordinator can dedupe a duplicated or replayed tail.
 	emit := func(ev Event) {
 		mu.Lock()
 		defer mu.Unlock()
+		if closed {
+			return
+		}
+		seq++
+		ev.Seq = seq
 		enc.Encode(ev)
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
+	// The keepalive goroutine must never touch the ResponseWriter after
+	// the handler returns; the closed flag fences it.
+	defer func() {
+		mu.Lock()
+		closed = true
+		mu.Unlock()
+	}()
+	keepAlive := e.KeepAlive
+	if keepAlive <= 0 {
+		keepAlive = 5 * time.Second
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(keepAlive)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-r.Context().Done():
+				return
+			case <-t.C:
+				emit(Event{Type: EventProgress})
+			}
+		}
+	}()
 	job.OnCheckpoint = func(seed uint64, ticks int, blob []byte) {
 		emit(Event{Type: EventCheckpoint, Seed: seed, Ticks: ticks, Blob: blob})
 	}
@@ -95,31 +140,54 @@ type MemberConfig struct {
 	Coordinator string
 	// Info is this worker's registration record.
 	Info RegisterRequest
-	// Interval is the heartbeat period; <= 0 selects 2s.
+	// Interval is the heartbeat period; <= 0 selects 2s. Each wait is
+	// jittered by ±1/8 of the period from the worker's seeded stream,
+	// so a fleet of workers that lost their coordinator at the same
+	// instant drifts apart instead of knocking in lockstep.
 	Interval time.Duration
+	// Retry shapes the registration backoff: failed register attempts
+	// wait exponentially longer with deterministic seeded jitter. The
+	// zero value selects 250ms base, 4s cap; a zero JitterSeed derives
+	// one from the worker ID, so every worker backs off on its own
+	// replayable schedule — no thundering herd after a coordinator
+	// restart.
+	Retry store.RetryPolicy
 	// Degraded, when set, reports the worker's degraded state on each
 	// heartbeat (the daemon wires its journal-health flag in here).
 	Degraded func() (degraded bool, reason string)
 	// Client substitutes the HTTP client; nil selects a 10s-timeout
-	// default.
+	// default on the bounded cluster transport.
 	Client *http.Client
 	// Logf substitutes the logger; nil selects log.Printf.
 	Logf func(format string, args ...any)
 }
 
-// RunMember registers the worker with the coordinator (retrying until
-// it succeeds — the coordinator may come up later) and then heartbeats
-// every Interval until ctx is canceled. A heartbeat answered 404 means
-// the coordinator restarted and lost its membership, so the loop
-// re-registers — that is what lets a restarted coordinator resume a
-// journaled job: its workers walk right back in.
+// RunMember registers the worker with the coordinator (retrying with
+// jittered exponential backoff until it succeeds — the coordinator may
+// come up later) and then heartbeats every Interval until ctx is
+// canceled. A heartbeat answered 404 means the coordinator restarted
+// and lost its membership, so the loop re-registers — that is what
+// lets a restarted coordinator resume a journaled job: its workers
+// walk right back in, desynchronized by their per-worker jitter.
 func RunMember(ctx context.Context, cfg MemberConfig) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 2 * time.Second
 	}
 	if cfg.Client == nil {
-		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+		cfg.Client = &http.Client{Timeout: 10 * time.Second, Transport: NewTransport()}
 	}
+	if cfg.Retry.BaseDelay <= 0 {
+		cfg.Retry.BaseDelay = 250 * time.Millisecond
+	}
+	if cfg.Retry.MaxDelay <= 0 {
+		cfg.Retry.MaxDelay = 4 * time.Second
+	}
+	if cfg.Retry.JitterSeed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(cfg.Info.ID))
+		cfg.Retry.JitterSeed = h.Sum64()
+	}
+	jitter := rng.NewStream(cfg.Retry.JitterSeed, 0xBEA7)
 	logf := cfg.Logf
 	if logf == nil {
 		logf = log.Printf
@@ -157,32 +225,50 @@ func RunMember(ctx context.Context, cfg MemberConfig) {
 		return true
 	}
 
-	registered := register()
-	tick := time.NewTicker(cfg.Interval)
-	defer tick.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-tick.C:
+	// beatWait is the jittered heartbeat period: Interval ± 1/8,
+	// drawn from the worker's seeded stream.
+	beatWait := func() time.Duration {
+		j := cfg.Interval / 8
+		if j <= 0 {
+			return cfg.Interval
 		}
-		if !registered {
-			registered = register()
-			continue
-		}
-		hb := HeartbeatRequest{ID: cfg.Info.ID}
-		if cfg.Degraded != nil {
-			hb.Degraded, hb.Reason = cfg.Degraded()
-		}
-		code, err := post(PathHeartbeat, hb)
-		switch {
-		case err != nil:
-			if ctx.Err() == nil {
-				logf("cluster: heartbeat to %s failed: %v", cfg.Coordinator, err)
+		return cfg.Interval - j + time.Duration(jitter.Uint64()%uint64(2*j+1))
+	}
+
+	for ctx.Err() == nil {
+		// (Re-)register with jittered exponential backoff.
+		for attempt := 1; !register(); attempt++ {
+			if ctx.Err() != nil {
+				return
 			}
-		case code == http.StatusNotFound:
-			logf("cluster: coordinator no longer knows %s; re-registering", cfg.Info.ID)
-			registered = register()
+			sleepCtx(ctx, cfg.Retry.Delay(jitter, attempt))
+			if ctx.Err() != nil {
+				return
+			}
+		}
+		// Heartbeat until the coordinator forgets us (a restart) or ctx
+		// ends. Transport errors don't drop registration — the TTL
+		// tolerates a few missed beats, and the next beat may get
+		// through.
+		for registered := true; registered; {
+			sleepCtx(ctx, beatWait())
+			if ctx.Err() != nil {
+				return
+			}
+			hb := HeartbeatRequest{ID: cfg.Info.ID}
+			if cfg.Degraded != nil {
+				hb.Degraded, hb.Reason = cfg.Degraded()
+			}
+			code, err := post(PathHeartbeat, hb)
+			switch {
+			case err != nil:
+				if ctx.Err() == nil {
+					logf("cluster: heartbeat to %s failed: %v", cfg.Coordinator, err)
+				}
+			case code == http.StatusNotFound:
+				logf("cluster: coordinator no longer knows %s; re-registering", cfg.Info.ID)
+				registered = false
+			}
 		}
 	}
 }

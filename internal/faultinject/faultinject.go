@@ -5,7 +5,7 @@
 // production-scale daemon must absorb (worker panics, journal I/O
 // errors, slow disks).
 //
-// Faults live on two planes:
+// Faults live on three planes:
 //
 //   - Simulated-hardware faults ride the observer engine: an Injector
 //     hands out one engine.Observer per chip, and at the planned tick
@@ -19,6 +19,14 @@
 //     Options.WriteHook: an operation counter indexes every
 //     append/fsync, and planned windows of that index return errors or
 //     inject latency.
+//
+//   - Network faults intercept cluster RPCs via an http.RoundTripper
+//     wrapper (Injector.Transport) and a net.Listener wrapper
+//     (Injector.Listener): a per-endpoint attempt counter indexes every
+//     RPC, and planned windows of that index partition the link, black-
+//     hole or slow it, or tear the streamed NDJSON response (reset,
+//     truncate, duplicate lines). The hardened cluster tier must retry,
+//     dedupe, and migrate its way back to byte-identical results.
 //
 // Everything is replayable: a Plan is plain data (JSON-serializable),
 // all randomness downstream of a fault (retry jitter) derives from the
@@ -70,6 +78,31 @@ const (
 	StoreError Kind = "store-error"
 	// StoreSlow delays journal operations in the window by DelayMs.
 	StoreSlow Kind = "store-slow"
+	// NetPartition fails matched RPC attempts outright with a
+	// connection-refused-style dial error (the link is down). With
+	// Target "accept" it instead rides the server's listener and
+	// resets matched incoming connections — a coordinator-restart /
+	// refusal window as seen by clients.
+	NetPartition Kind = "net-partition"
+	// NetBlackhole holds matched RPC attempts for DelayMs and then
+	// fails them with a timeout error — packets silently dropped, the
+	// failure mode only a bounded client timeout can catch.
+	NetBlackhole Kind = "net-blackhole"
+	// NetSlow delays matched RPC attempts by DelayMs, then forwards
+	// them — a congested or lossy link that still works.
+	NetSlow Kind = "net-slow"
+	// NetResetStream forwards the request but errors the response body
+	// with a connection reset after Line complete NDJSON lines — a
+	// mid-exec-stream cut.
+	NetResetStream Kind = "net-reset-stream"
+	// NetTruncateStream ends the response body with a clean EOF after
+	// Line complete lines — a torn tail the reader cannot distinguish
+	// from a finished stream except by the missing "done" event.
+	NetTruncateStream Kind = "net-truncate-stream"
+	// NetDupEvents delivers every NDJSON response line twice — a
+	// replayed stream tail that idempotent, sequence-numbered event
+	// handling must dedupe instead of double-applying.
+	NetDupEvents Kind = "net-dup-events"
 )
 
 // simKinds are the fault kinds delivered through a chip's observer.
@@ -84,13 +117,31 @@ func (k Kind) sim() bool {
 // store reports whether the kind intercepts journal operations.
 func (k Kind) store() bool { return k == StoreError || k == StoreSlow }
 
+// net reports whether the kind intercepts cluster RPCs.
+func (k Kind) net() bool {
+	switch k {
+	case NetPartition, NetBlackhole, NetSlow, NetResetStream, NetTruncateStream, NetDupEvents:
+		return true
+	}
+	return false
+}
+
+// stream reports whether the kind tears the streamed response body
+// (rather than the request attempt itself).
+func (k Kind) stream() bool {
+	return k == NetResetStream || k == NetTruncateStream || k == NetDupEvents
+}
+
 // valid reports whether the kind is known.
-func (k Kind) valid() bool { return k.sim() || k.store() }
+func (k Kind) valid() bool { return k.sim() || k.store() || k.net() }
 
 // Fault is one planned fault. Interpretation of Start/Duration depends
 // on the plane: simulated-hardware faults count control ticks (absolute
 // tick numbering, matching engine.View.Tick), store faults count
-// journal operations (every append and fsync increments the index).
+// journal operations (every append and fsync increments the index),
+// and network faults count RPC attempts per endpoint (every request to
+// a Target increments that target's index; retries draw fresh indices,
+// so a window of Duration expires after Duration failing attempts).
 type Fault struct {
 	Kind Kind `json:"kind"`
 	// Domain targets a voltage domain (hardware-plane faults only).
@@ -98,16 +149,28 @@ type Fault struct {
 	// Chip restricts the fault to the chip with this seed; 0 targets
 	// every chip in the fleet.
 	Chip uint64 `json:"chip,omitempty"`
-	// Start is the first tick (hardware plane) or journal-operation
-	// index (store plane) at which the fault is active.
+	// Start is the first tick (hardware plane), journal-operation index
+	// (store plane), or RPC-attempt index (network plane) at which the
+	// fault is active.
 	Start int `json:"start"`
-	// Duration is how many ticks/operations the fault lasts; 0 means
-	// permanent (and for WorkerPanic, which is instantaneous, ignored).
+	// Duration is how many ticks/operations/attempts the fault lasts; 0
+	// means permanent (and for WorkerPanic, which is instantaneous,
+	// ignored).
 	Duration int `json:"duration,omitempty"`
 	// DroopV is the injected droop in volts (PDNTransient only).
 	DroopV float64 `json:"droop_v,omitempty"`
-	// DelayMs is the injected latency in milliseconds (StoreSlow only).
+	// DelayMs is the injected latency in milliseconds (StoreSlow,
+	// NetSlow, NetBlackhole).
 	DelayMs int `json:"delay_ms,omitempty"`
+	// Target restricts a network fault to RPCs whose URL path ends in
+	// this segment ("exec", "register", "heartbeat", "members"); ""
+	// matches every endpoint. The special target "accept" puts a
+	// net-partition on the server's listener instead of the client.
+	Target string `json:"target,omitempty"`
+	// Line is the number of complete NDJSON lines delivered before a
+	// stream fault cuts the body (NetResetStream, NetTruncateStream);
+	// 0 cuts before the first line.
+	Line int `json:"line,omitempty"`
 }
 
 // String renders the fault for event logs.
@@ -118,6 +181,17 @@ func (f Fault) String() string {
 	}
 	if f.Kind == PDNTransient {
 		s += fmt.Sprintf(" (%+.0f mV)", -1000*f.DroopV)
+	}
+	if f.Kind.net() {
+		if f.Target != "" {
+			s += " " + f.Target
+		}
+		if f.DelayMs > 0 {
+			s += fmt.Sprintf(" (%d ms)", f.DelayMs)
+		}
+		if f.Kind == NetResetStream || f.Kind == NetTruncateStream {
+			s += fmt.Sprintf(" after line %d", f.Line)
+		}
 	}
 	return s
 }
@@ -148,6 +222,18 @@ func (p Plan) Validate() error {
 		if f.Kind == StoreSlow && f.DelayMs <= 0 {
 			return fmt.Errorf("faultinject: fault %d: store-slow with non-positive delay", i)
 		}
+		if (f.Kind == NetSlow || f.Kind == NetBlackhole) && f.DelayMs <= 0 {
+			return fmt.Errorf("faultinject: fault %d: %s with non-positive delay", i, f.Kind)
+		}
+		if f.Line < 0 {
+			return fmt.Errorf("faultinject: fault %d (%s): negative line", i, f.Kind)
+		}
+		if f.Target != "" && !f.Kind.net() {
+			return fmt.Errorf("faultinject: fault %d (%s): target is a network-plane field", i, f.Kind)
+		}
+		if f.Target == "accept" && f.Kind != NetPartition {
+			return fmt.Errorf("faultinject: fault %d: target \"accept\" only supports net-partition", i)
+		}
 	}
 	return nil
 }
@@ -156,6 +242,16 @@ func (p Plan) Validate() error {
 func (p Plan) HasStoreFaults() bool {
 	for _, f := range p.Faults {
 		if f.Kind.store() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasNetFaults reports whether any fault intercepts cluster RPCs.
+func (p Plan) HasNetFaults() bool {
+	for _, f := range p.Faults {
+		if f.Kind.net() {
 			return true
 		}
 	}
@@ -187,8 +283,9 @@ func ParsePlan(raw []byte) (Plan, error) {
 type Event struct {
 	// Chip is the chip seed the event applied to (0 for store events).
 	Chip uint64 `json:"chip,omitempty"`
-	// Tick is the control tick (hardware plane) or journal operation
-	// index (store plane) of the event.
+	// Tick is the control tick (hardware plane), journal operation
+	// index (store plane), or per-endpoint RPC attempt index (network
+	// plane) of the event.
 	Tick int `json:"tick"`
 	// Phase is "apply", "clear", or "skip" (target had no active
 	// monitor — e.g. the domain already failed safe).

@@ -1,0 +1,251 @@
+package faultinject
+
+// Network-plane delivery: an http.RoundTripper wrapper for the client
+// side of every cluster RPC and a net.Listener wrapper for the server
+// side. Both index traffic deterministically — one attempt counter per
+// endpoint key (the URL path's last segment), one accept counter per
+// listener — so a plan window like {start: 2, duration: 3} means "RPC
+// attempts 2, 3 and 4 to this endpoint", reproducibly, regardless of
+// wall-clock timing. Retried attempts draw fresh indices, which is how
+// a bounded-retry client proves it rides out a finite outage window.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Transport wraps base with the plan's network faults. When the plan
+// has none, base is returned unchanged — an empty plan is byte-
+// identical to an uninjected build. A nil base selects
+// http.DefaultTransport.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	var faults []Fault
+	for _, f := range in.plan.Faults {
+		if f.Kind.net() && f.Target != "accept" {
+			faults = append(faults, f)
+		}
+	}
+	if len(faults) == 0 {
+		return base
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &chaosTransport{in: in, base: base, faults: faults}
+}
+
+type chaosTransport struct {
+	in     *Injector
+	base   http.RoundTripper
+	faults []Fault
+
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// next assigns the attempt index for one request to the endpoint key.
+func (t *chaosTransport) next(key string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.counts == nil {
+		t.counts = make(map[string]int)
+	}
+	n := t.counts[key]
+	t.counts[key] = n + 1
+	return n
+}
+
+// pathKey reduces a URL path to its endpoint key: the last segment, so
+// "/v1/cluster/exec" and "/v1/cluster/heartbeat" key as "exec" and
+// "heartbeat" no matter which host serves them.
+func pathKey(p string) string {
+	p = strings.TrimRight(p, "/")
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// active reports whether the fault applies to attempt n on key.
+func (f Fault) active(key string, n int) bool {
+	if f.Target != "" && f.Target != key {
+		return false
+	}
+	if n < f.Start {
+		return false
+	}
+	return f.Duration == 0 || n < f.Start+f.Duration
+}
+
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	key := pathKey(req.URL.Path)
+	n := t.next(key)
+	var stream []Fault
+	for _, f := range t.faults {
+		if !f.active(key, n) {
+			continue
+		}
+		switch f.Kind {
+		case NetPartition:
+			t.in.record(Event{Tick: n, Phase: "apply", Fault: f})
+			return nil, &net.OpError{Op: "dial", Net: "tcp", Err: fmt.Errorf("faultinject: partition (%s attempt %d)", key, n)}
+		case NetBlackhole:
+			t.in.record(Event{Tick: n, Phase: "apply", Fault: f})
+			select {
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			case <-time.After(time.Duration(f.DelayMs) * time.Millisecond):
+			}
+			return nil, &timeoutError{fmt.Sprintf("faultinject: blackhole (%s attempt %d)", key, n)}
+		case NetSlow:
+			t.in.record(Event{Tick: n, Phase: "apply", Fault: f})
+			select {
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			case <-time.After(time.Duration(f.DelayMs) * time.Millisecond):
+			}
+		case NetResetStream, NetTruncateStream, NetDupEvents:
+			t.in.record(Event{Tick: n, Phase: "apply", Fault: f})
+			stream = append(stream, f)
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || len(stream) == 0 {
+		return resp, err
+	}
+	resp.Body = newChaosBody(resp.Body, stream)
+	return resp, nil
+}
+
+// timeoutError is the net.Error a blackholed attempt surfaces: the
+// client's own deadline machinery would produce the same shape.
+type timeoutError struct{ msg string }
+
+func (e *timeoutError) Error() string   { return e.msg }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+// errStreamReset is the error a NetResetStream body surfaces.
+var errStreamReset = errors.New("faultinject: connection reset mid-stream")
+
+// chaosBody tears a streamed NDJSON response line by line: it forwards
+// complete lines (optionally duplicated) and, after the configured line
+// count, fails the next read with a reset error or a clean EOF.
+type chaosBody struct {
+	rc io.ReadCloser
+	br *bufio.Reader
+
+	buf      bytes.Buffer // decoded output waiting to be read
+	lines    int          // complete lines forwarded (pre-duplication)
+	cutAfter int          // lines allowed through; -1 = no cut
+	truncate bool         // cut with EOF instead of a reset error
+	dup      bool         // forward every line twice
+	err      error        // sticky terminal error
+}
+
+func newChaosBody(rc io.ReadCloser, faults []Fault) io.ReadCloser {
+	b := &chaosBody{rc: rc, br: bufio.NewReader(rc), cutAfter: -1}
+	for _, f := range faults {
+		switch f.Kind {
+		case NetResetStream:
+			b.cutAfter, b.truncate = f.Line, false
+		case NetTruncateStream:
+			b.cutAfter, b.truncate = f.Line, true
+		case NetDupEvents:
+			b.dup = true
+		}
+	}
+	return b
+}
+
+func (b *chaosBody) Read(p []byte) (int, error) {
+	for b.buf.Len() == 0 {
+		if b.err != nil {
+			return 0, b.err
+		}
+		if b.cutAfter >= 0 && b.lines >= b.cutAfter {
+			if b.truncate {
+				b.err = io.EOF
+			} else {
+				b.err = &net.OpError{Op: "read", Net: "tcp", Err: errStreamReset}
+			}
+			return 0, b.err
+		}
+		line, err := b.br.ReadBytes('\n')
+		if len(line) > 0 {
+			b.buf.Write(line)
+			if line[len(line)-1] == '\n' {
+				b.lines++
+				if b.dup {
+					b.buf.Write(line)
+				}
+			}
+		}
+		if err != nil {
+			b.err = err
+			break
+		}
+	}
+	if b.buf.Len() == 0 {
+		return 0, b.err
+	}
+	return b.buf.Read(p)
+}
+
+func (b *chaosBody) Close() error { return b.rc.Close() }
+
+// Listener wraps ln with the plan's accept-plane faults: net-partition
+// faults with Target "accept" immediately close matched incoming
+// connections — a restart or refusal window as clients see it. With no
+// such faults ln is returned unchanged.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	var faults []Fault
+	for _, f := range in.plan.Faults {
+		if f.Kind == NetPartition && f.Target == "accept" {
+			faults = append(faults, f)
+		}
+	}
+	if len(faults) == 0 {
+		return ln
+	}
+	return &chaosListener{Listener: ln, in: in, faults: faults}
+}
+
+type chaosListener struct {
+	net.Listener
+	in     *Injector
+	faults []Fault
+	count  atomic.Int64
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return c, err
+		}
+		n := int(l.count.Add(1) - 1)
+		dropped := false
+		for _, f := range l.faults {
+			if !f.active("accept", n) {
+				continue
+			}
+			l.in.record(Event{Tick: n, Phase: "apply", Fault: f})
+			c.Close()
+			dropped = true
+			break
+		}
+		if !dropped {
+			return c, nil
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// lineServer streams count NDJSON lines and returns the test server.
+func lineServer(t *testing.T, count int) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl, _ := w.(http.Flusher)
+		for i := 0; i < count; i++ {
+			io.WriteString(w, `{"n":`+string(rune('0'+i))+"}\n")
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func mustInjector(t *testing.T, p Plan) *Injector {
+	t.Helper()
+	in, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// An empty plan must hand back the base transport untouched: the
+// injected build is byte-identical to an uninjected one.
+func TestTransportEmptyPlanIdentity(t *testing.T) {
+	in := mustInjector(t, Plan{})
+	base := http.DefaultTransport
+	if got := in.Transport(base); got != base {
+		t.Fatalf("empty plan wrapped the transport: %T", got)
+	}
+	// A plan with only sim/store faults is also a no-op on the wire.
+	in = mustInjector(t, Plan{Faults: []Fault{{Kind: DUEBurst, Start: 1}}})
+	if got := in.Transport(base); got != base {
+		t.Fatalf("sim-only plan wrapped the transport: %T", got)
+	}
+}
+
+func TestTransportPartitionWindow(t *testing.T) {
+	ts := lineServer(t, 1)
+	in := mustInjector(t, Plan{Faults: []Fault{
+		{Kind: NetPartition, Target: "exec", Start: 0, Duration: 2},
+	}})
+	client := &http.Client{Transport: in.Transport(http.DefaultTransport)}
+
+	// Attempts 0 and 1 are inside the window and must fail; attempt 2
+	// is past it and must succeed. A different endpoint never matches.
+	for i := 0; i < 2; i++ {
+		if _, err := client.Get(ts.URL + "/v1/cluster/exec"); err == nil {
+			t.Fatalf("attempt %d inside partition window succeeded", i)
+		}
+	}
+	resp, err := client.Get(ts.URL + "/v1/cluster/exec")
+	if err != nil {
+		t.Fatalf("attempt 2 past the window: %v", err)
+	}
+	resp.Body.Close()
+	resp, err = client.Get(ts.URL + "/v1/cluster/members")
+	if err != nil {
+		t.Fatalf("unmatched endpoint partitioned: %v", err)
+	}
+	resp.Body.Close()
+
+	evs := in.Events()
+	if len(evs) != 2 || evs[0].Tick != 0 || evs[1].Tick != 1 {
+		t.Fatalf("event log = %+v, want applies at attempts 0 and 1", evs)
+	}
+}
+
+func TestTransportBlackholeTimesOut(t *testing.T) {
+	ts := lineServer(t, 1)
+	in := mustInjector(t, Plan{Faults: []Fault{
+		{Kind: NetBlackhole, Start: 0, Duration: 1, DelayMs: 10},
+	}})
+	client := &http.Client{Transport: in.Transport(http.DefaultTransport)}
+	_, err := client.Get(ts.URL + "/v1/cluster/exec")
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("blackhole error = %v, want a net.Error timeout", err)
+	}
+}
+
+func TestTransportSlowForwards(t *testing.T) {
+	ts := lineServer(t, 1)
+	in := mustInjector(t, Plan{Faults: []Fault{
+		{Kind: NetSlow, Start: 0, DelayMs: 30},
+	}})
+	client := &http.Client{Transport: in.Transport(http.DefaultTransport)}
+	t0 := time.Now()
+	resp, err := client.Get(ts.URL + "/v1/cluster/exec")
+	if err != nil {
+		t.Fatalf("slow link dropped the request: %v", err)
+	}
+	resp.Body.Close()
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("request took %v, want >= 30ms of injected latency", d)
+	}
+}
+
+func TestStreamResetAfterLine(t *testing.T) {
+	ts := lineServer(t, 5)
+	in := mustInjector(t, Plan{Faults: []Fault{
+		{Kind: NetResetStream, Start: 0, Duration: 1, Line: 2},
+	}})
+	client := &http.Client{Transport: in.Transport(http.DefaultTransport)}
+	resp, err := client.Get(ts.URL + "/v1/cluster/exec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("stream was not reset; read %q", raw)
+	}
+	if got := strings.Count(string(raw), "\n"); got != 2 {
+		t.Fatalf("forwarded %d lines before reset, want 2 (%q)", got, raw)
+	}
+}
+
+func TestStreamTruncateCleanEOF(t *testing.T) {
+	ts := lineServer(t, 5)
+	in := mustInjector(t, Plan{Faults: []Fault{
+		{Kind: NetTruncateStream, Start: 0, Duration: 1, Line: 3},
+	}})
+	client := &http.Client{Transport: in.Transport(http.DefaultTransport)}
+	resp, err := client.Get(ts.URL + "/v1/cluster/exec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("truncated stream must end in a clean EOF, got %v", err)
+	}
+	if got := strings.Count(string(raw), "\n"); got != 3 {
+		t.Fatalf("forwarded %d lines, want 3 (%q)", got, raw)
+	}
+}
+
+func TestStreamDupDoublesEveryLine(t *testing.T) {
+	ts := lineServer(t, 3)
+	in := mustInjector(t, Plan{Faults: []Fault{
+		{Kind: NetDupEvents, Start: 0, Duration: 1},
+	}})
+	client := &http.Client{Transport: in.Transport(http.DefaultTransport)}
+	resp, err := client.Get(ts.URL + "/v1/cluster/exec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6: %q", len(lines), raw)
+	}
+	for i := 0; i < 6; i += 2 {
+		if lines[i] != lines[i+1] {
+			t.Fatalf("line %d not duplicated: %q vs %q", i/2, lines[i], lines[i+1])
+		}
+	}
+}
+
+// The same plan replayed against the same traffic produces the same
+// event log — the network plane's replayability contract.
+func TestNetEventLogDeterministic(t *testing.T) {
+	plan := Plan{Seed: 42, Faults: []Fault{
+		{Kind: NetPartition, Target: "exec", Start: 1, Duration: 2},
+		{Kind: NetSlow, Target: "heartbeat", Start: 0, Duration: 3, DelayMs: 1},
+	}}
+	run := func() []Event {
+		ts := lineServer(t, 1)
+		in := mustInjector(t, plan)
+		client := &http.Client{Transport: in.Transport(http.DefaultTransport)}
+		for i := 0; i < 4; i++ {
+			if resp, err := client.Get(ts.URL + "/v1/cluster/exec"); err == nil {
+				resp.Body.Close()
+			}
+			if resp, err := client.Get(ts.URL + "/v1/cluster/heartbeat"); err == nil {
+				resp.Body.Close()
+			}
+		}
+		return in.Events()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("event logs diverged:\n%+v\n%+v", a, b)
+	}
+	if len(a) != 5 { // exec attempts 1,2 + heartbeat attempts 0,1,2
+		t.Fatalf("got %d events, want 5: %+v", len(a), a)
+	}
+}
+
+func TestListenerAcceptWindow(t *testing.T) {
+	in := mustInjector(t, Plan{Faults: []Fault{
+		{Kind: NetPartition, Target: "accept", Start: 0, Duration: 1},
+	}})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	ts.Listener = in.Listener(ln)
+	ts.Start()
+	defer ts.Close()
+
+	// The first accepted connection is reset; a client that retries
+	// (fresh connection) gets through because the window has passed.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	_, err = client.Get(ts.URL)
+	if err == nil {
+		t.Fatal("first connection survived the accept-window partition")
+	}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("second connection: %v", err)
+	}
+	resp.Body.Close()
+	evs := in.Events()
+	if len(evs) != 1 || evs[0].Tick != 0 {
+		t.Fatalf("event log = %+v, want one apply at accept 0", evs)
+	}
+}
+
+// A listener with no accept faults is returned unchanged.
+func TestListenerIdentity(t *testing.T) {
+	in := mustInjector(t, Plan{Faults: []Fault{{Kind: NetPartition, Target: "exec", Start: 0}}})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if got := in.Listener(ln); got != ln {
+		t.Fatalf("fault-free listener was wrapped: %T", got)
+	}
+}

@@ -1,5 +1,7 @@
 package faultinject
 
+import "time"
+
 // Scenario is a named, ready-to-run chaos recipe: a plan plus the run
 // parameters it was tuned for. The catalog below backs `eccspec chaos`
 // and the chaos tests; CLI flags can override the run parameters but
@@ -14,6 +16,14 @@ type Scenario struct {
 	// replaces them).
 	Seeds []uint64
 	Plan  Plan
+	// Workers sizes the in-process loopback cluster a network-plane
+	// scenario runs through (0 selects 2 when the plan carries net
+	// faults; irrelevant otherwise).
+	Workers int
+	// QuarantineAfter and ProbeDelay tune the coordinator's dispatch
+	// circuit breaker for cluster scenarios (0 keeps the defaults).
+	QuarantineAfter int
+	ProbeDelay      time.Duration
 }
 
 // Scenarios returns the built-in chaos catalog, in presentation order.
@@ -70,6 +80,93 @@ func Scenarios() []Scenario {
 				Faults: []Fault{
 					{Kind: PDNTransient, Domain: 0, Start: 300, Duration: 10, DroopV: 0.035},
 					{Kind: PDNTransient, Domain: 1, Start: 305, Duration: 10, DroopV: 0.035},
+				},
+			},
+		},
+		{
+			Name: "net-partition",
+			Description: "the coordinator's first two exec dispatches " +
+				"cannot connect — bounded retries with seeded backoff " +
+				"must ride the window out and merged results must stay " +
+				"byte-identical to a single-node run",
+			Workload: "stress-test",
+			Seconds:  0.05,
+			Seeds:    []uint64{1, 2, 3, 4, 5, 6},
+			Workers:  2,
+			Plan: Plan{
+				Seed: 42,
+				Faults: []Fault{
+					{Kind: NetPartition, Target: "exec", Start: 0, Duration: 2},
+				},
+			},
+		},
+		{
+			Name: "net-slow-link",
+			Description: "the first three exec dispatches cross a " +
+				"congested link (25 ms each way) — nothing times out, " +
+				"nothing retries, results match single-node bytes",
+			Workload: "stress-test",
+			Seconds:  0.05,
+			Seeds:    []uint64{1, 2, 3, 4, 5, 6},
+			Workers:  2,
+			Plan: Plan{
+				Seed: 42,
+				Faults: []Fault{
+					{Kind: NetSlow, Target: "exec", Start: 0, Duration: 3, DelayMs: 25},
+				},
+			},
+		},
+		{
+			Name: "net-reset-stream",
+			Description: "the first exec stream is reset after 2 event " +
+				"lines — the coordinator must re-dispatch the batch from " +
+				"its freshest checkpoints and still merge byte-identical " +
+				"results",
+			Workload: "stress-test",
+			Seconds:  0.05,
+			Seeds:    []uint64{1, 2, 3, 4, 5, 6},
+			Workers:  2,
+			Plan: Plan{
+				Seed: 42,
+				Faults: []Fault{
+					{Kind: NetResetStream, Target: "exec", Start: 0, Duration: 1, Line: 2},
+				},
+			},
+		},
+		{
+			Name: "net-torn-stream",
+			Description: "the first exec stream truncates cleanly after " +
+				"one line (no done marker) and the next is duplicated " +
+				"line-for-line — retry must finish the truncated batch and " +
+				"sequence-number dedupe must drop every replayed event",
+			Workload: "stress-test",
+			Seconds:  0.05,
+			Seeds:    []uint64{1, 2, 3, 4, 5, 6},
+			Workers:  2,
+			Plan: Plan{
+				Seed: 42,
+				Faults: []Fault{
+					{Kind: NetTruncateStream, Target: "exec", Start: 0, Duration: 1, Line: 1},
+					{Kind: NetDupEvents, Target: "exec", Start: 1, Duration: 1},
+				},
+			},
+		},
+		{
+			Name: "net-quarantine",
+			Description: "a single worker's first dispatch fails with a " +
+				"threshold-1 breaker — the worker quarantines, the " +
+				"half-open probe revives it after 100 ms, and the fleet " +
+				"still matches single-node bytes",
+			Workload:        "stress-test",
+			Seconds:         0.05,
+			Seeds:           []uint64{1, 2, 3, 4, 5, 6},
+			Workers:         1,
+			QuarantineAfter: 1,
+			ProbeDelay:      100 * time.Millisecond,
+			Plan: Plan{
+				Seed: 42,
+				Faults: []Fault{
+					{Kind: NetPartition, Target: "exec", Start: 0, Duration: 1},
 				},
 			},
 		},

@@ -114,9 +114,14 @@ func (p RetryPolicy) maxAttempts() int {
 	return p.MaxAttempts
 }
 
-// delay computes the wait before retry number attempt (1-based),
-// drawing jitter from the store's seeded stream.
-func (p RetryPolicy) delay(jitter *rng.Stream, attempt int) time.Duration {
+// Attempts returns the effective total tries per operation, with the
+// zero value's default applied. Exported so other retry loops (the
+// cluster RPC layer) can share one policy shape.
+func (p RetryPolicy) Attempts() int { return p.maxAttempts() }
+
+// Delay computes the wait before retry number attempt (1-based),
+// drawing jitter from the caller's seeded stream.
+func (p RetryPolicy) Delay(jitter *rng.Stream, attempt int) time.Duration {
 	base, max := p.BaseDelay, p.MaxDelay
 	if base <= 0 {
 		base = 2 * time.Millisecond
@@ -372,7 +377,7 @@ func (s *Store) append(rec record, sync bool) error {
 			if attempt == 1 {
 				s.retries++
 			}
-			s.sleep(s.opts.Retry.delay(s.jitter, attempt))
+			s.sleep(s.opts.Retry.Delay(s.jitter, attempt))
 			// A failed attempt may have left a partial line (or a whole
 			// unsynced one); cut back to the committed boundary before
 			// writing again so the record never appears twice.
